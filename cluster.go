@@ -1,0 +1,269 @@
+package reservoir
+
+import (
+	"fmt"
+
+	"reservoir/internal/coll"
+	"reservoir/internal/core"
+	"reservoir/internal/simnet"
+	"reservoir/internal/workload"
+)
+
+// Algorithm selects which distributed sampler a Cluster runs.
+type Algorithm int
+
+const (
+	// Distributed is the paper's fully distributed algorithm (Sec 4.2):
+	// no coordinator, threshold found by distributed selection.
+	Distributed Algorithm = iota
+	// CentralizedGather is the comparison baseline (Sec 4.5): candidates
+	// are gathered at a root PE which selects sequentially.
+	CentralizedGather
+)
+
+// String names the algorithm as in the paper's plots.
+func (a Algorithm) String() string {
+	switch a {
+	case Distributed:
+		return "ours"
+	case CentralizedGather:
+		return "gather"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NetworkStats reports simulated network traffic.
+type NetworkStats = simnet.Stats
+
+// Cluster runs a distributed reservoir sampler over p simulated PEs.
+// All per-round methods drive every PE concurrently (one goroutine each)
+// and return when the round's collective operations have completed.
+type Cluster struct {
+	sim      *simnet.Cluster
+	samplers []core.Sampler
+	p        int
+	round    int
+	algo     Algorithm
+}
+
+// NewCluster creates a cluster of p PEs running the configured sampler.
+func NewCluster(p int, cfg Config, opts ...Option) (*Cluster, error) {
+	o := options{algo: Distributed, cost: simnet.CostParams{}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	validated := cfg
+	if validated.Model == (CostModel{}) {
+		validated.Model = DefaultCostModel()
+	}
+	if o.cost == (simnet.CostParams{}) {
+		o.cost = simnet.CostParams{AlphaNS: validated.Model.AlphaNS, BetaNS: validated.Model.BetaNS}
+	}
+	sim := simnet.NewCluster(p, o.cost)
+	c := &Cluster{sim: sim, samplers: make([]core.Sampler, p), p: p, algo: o.algo}
+	for i := 0; i < p; i++ {
+		comm := coll.New(sim.PE(i))
+		var err error
+		switch o.algo {
+		case CentralizedGather:
+			c.samplers[i], err = core.NewGatherPE(comm, validated)
+		default:
+			c.samplers[i], err = core.NewDistPE(comm, validated)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// options collects Option settings.
+type options struct {
+	algo Algorithm
+	cost simnet.CostParams
+}
+
+// Option customizes NewCluster.
+type Option func(*options)
+
+// WithAlgorithm selects the sampler implementation (default Distributed).
+func WithAlgorithm(a Algorithm) Option {
+	return func(o *options) { o.algo = a }
+}
+
+// WithNetworkCost overrides the simulated network parameters α (per
+// message) and β (per 8-byte word), both in nanoseconds.
+func WithNetworkCost(alphaNS, betaNS float64) Option {
+	return func(o *options) { o.cost = simnet.CostParams{AlphaNS: alphaNS, BetaNS: betaNS} }
+}
+
+// P returns the number of PEs.
+func (c *Cluster) P() int { return c.p }
+
+// Algorithm returns the sampler implementation the cluster runs.
+func (c *Cluster) Algorithm() Algorithm { return c.algo }
+
+// Round returns the number of mini-batch rounds processed so far.
+func (c *Cluster) Round() int { return c.round }
+
+// ProcessRound feeds every PE its next mini-batch from src and runs the
+// collective threshold update.
+func (c *Cluster) ProcessRound(src Source) {
+	round := c.round
+	c.sim.Parallel(func(pe *simnet.PE) {
+		c.samplers[pe.ID()].ProcessBatch(src.NextBatch(pe.ID(), round))
+	})
+	c.round++
+}
+
+// ProcessBatches feeds explicit per-PE batches (len(batches) must equal P).
+func (c *Cluster) ProcessBatches(batches []SliceBatch) error {
+	if len(batches) != c.p {
+		return fmt.Errorf("reservoir: got %d batches for %d PEs", len(batches), c.p)
+	}
+	c.sim.Parallel(func(pe *simnet.PE) {
+		c.samplers[pe.ID()].ProcessBatch(batches[pe.ID()])
+	})
+	c.round++
+	return nil
+}
+
+// Sample gathers and returns the current global sample.
+func (c *Cluster) Sample() []Item {
+	var out []Item
+	c.sim.Parallel(func(pe *simnet.PE) {
+		s := c.samplers[pe.ID()].CollectSample()
+		if pe.ID() == 0 {
+			out = s
+		}
+	})
+	return out
+}
+
+// SampleSize returns the current global sample size.
+func (c *Cluster) SampleSize() int { return c.samplers[0].SampleSize() }
+
+// Threshold returns the current global key threshold and whether one has
+// been established.
+func (c *Cluster) Threshold() (float64, bool) { return c.samplers[0].Threshold() }
+
+// VirtualTime returns the largest PE virtual clock in nanoseconds — the
+// simulated elapsed time of all processing so far.
+func (c *Cluster) VirtualTime() float64 { return c.sim.MaxClock() }
+
+// ResetClocks zeroes all virtual clocks (e.g. between measurement phases).
+func (c *Cluster) ResetClocks() { c.sim.ResetClocks() }
+
+// NetworkStats returns cluster-wide message and word counters.
+func (c *Cluster) NetworkStats() NetworkStats { return c.sim.Stats() }
+
+// Timing returns the per-phase maximum over all PEs of the accumulated
+// virtual phase times (the cluster-level composition of Figure 6).
+func (c *Cluster) Timing() Timing {
+	var t Timing
+	for _, s := range c.samplers {
+		t = t.Max(s.Timing())
+	}
+	return t
+}
+
+// Counters returns the sum of all PEs' operation counters.
+func (c *Cluster) Counters() Counters {
+	var total Counters
+	for _, s := range c.samplers {
+		total.Add(s.Counters())
+	}
+	return total
+}
+
+// PECounters returns one PE's counters (for per-PE load analyses).
+func (c *Cluster) PECounters(pe int) Counters { return c.samplers[pe].Counters() }
+
+// PETiming returns one PE's accumulated per-phase virtual times.
+func (c *Cluster) PETiming(pe int) Timing { return c.samplers[pe].Timing() }
+
+// Snapshot serializes the whole cluster's sampler state (per-PE reservoirs,
+// threshold, PRNG states) so a sampling process can be persisted and
+// resumed bit-identically with RestoreCluster. Only the Distributed
+// algorithm supports snapshots. Virtual-time measurements and counters are
+// not part of the state and restart from zero after a restore.
+func (c *Cluster) Snapshot() ([]byte, error) {
+	if c.algo != Distributed {
+		return nil, fmt.Errorf("reservoir: snapshots require the Distributed algorithm")
+	}
+	var buf []byte
+	var head [8]byte
+	putU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			head[i] = byte(v >> (8 * i))
+		}
+		buf = append(buf, head[:]...)
+	}
+	putU64(uint64(c.p))
+	putU64(uint64(c.round))
+	for i := 0; i < c.p; i++ {
+		blob, err := c.samplers[i].(*core.DistPE).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		putU64(uint64(len(blob)))
+		buf = append(buf, blob...)
+	}
+	return buf, nil
+}
+
+// RestoreCluster reconstructs a cluster from a Snapshot. cfg and opts must
+// match the snapshotting cluster's configuration.
+func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, error) {
+	getU64 := func() (uint64, error) {
+		if len(snapshot) < 8 {
+			return 0, fmt.Errorf("reservoir: truncated snapshot")
+		}
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(snapshot[i]) << (8 * i)
+		}
+		snapshot = snapshot[8:]
+		return v, nil
+	}
+	p64, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	round, err := getU64()
+	if err != nil {
+		return nil, err
+	}
+	if p64 == 0 || p64 > 1<<20 {
+		return nil, fmt.Errorf("reservoir: corrupt snapshot (p = %d)", p64)
+	}
+	c, err := NewCluster(int(p64), cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if c.algo != Distributed {
+		return nil, fmt.Errorf("reservoir: snapshots require the Distributed algorithm")
+	}
+	c.round = int(round)
+	for i := 0; i < c.p; i++ {
+		n, err := getU64()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(snapshot)) {
+			return nil, fmt.Errorf("reservoir: truncated snapshot at PE %d", i)
+		}
+		if err := c.samplers[i].(*core.DistPE).UnmarshalBinary(snapshot[:n]); err != nil {
+			return nil, fmt.Errorf("reservoir: PE %d: %w", i, err)
+		}
+		snapshot = snapshot[n:]
+	}
+	if len(snapshot) != 0 {
+		return nil, fmt.Errorf("reservoir: %d trailing bytes in snapshot", len(snapshot))
+	}
+	return c, nil
+}
+
+// Ensure workload.Source implementations satisfy the aliased interface.
+var _ Source = workload.UniformSource{}

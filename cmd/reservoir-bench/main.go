@@ -1,0 +1,92 @@
+// Command reservoir-bench regenerates the paper's evaluation (Sec 6):
+//
+//	reservoir-bench -exp weak         # Figure 3: weak scaling speedups
+//	reservoir-bench -exp strong       # Figures 4+5: strong scaling + throughput
+//	reservoir-bench -exp composition  # Figure 6: running time composition
+//	reservoir-bench -exp depth        # Sec 6.3: selection recursion depth
+//	reservoir-bench -exp insertions   # Lemma 2 / Theorem 3 validation
+//	reservoir-bench -exp all          # everything
+//
+// Scales: -scale tiny|small|paper (default small). "paper" uses the paper's
+// full parameters (20 PEs/node, up to 256 nodes, batches up to 10^6) and
+// can run for many hours; "small" shrinks every dimension ~10-20x and
+// reproduces all qualitative shapes in minutes (see DESIGN.md §2).
+//
+// Reported times are virtual: deterministic cost-model time of the
+// simulated machine, not wall-clock time of this process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"reservoir/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: weak|strong|composition|depth|insertions|ablation|all")
+	scaleName := flag.String("scale", "small", "parameter scale: tiny|small|paper")
+	pesPerNode := flag.Int("pes-per-node", 0, "override PEs per node")
+	rounds := flag.Int("rounds", 0, "override measured rounds per configuration")
+	seed := flag.Uint64("seed", 0, "override RNG seed")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "tiny":
+		scale = bench.TinyScale()
+	case "small":
+		scale = bench.SmallScale()
+	case "paper":
+		scale = bench.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *pesPerNode > 0 {
+		scale.PEsPerNode = *pesPerNode
+	}
+	if *rounds > 0 {
+		scale.Measure = *rounds
+	}
+	if *seed != 0 {
+		scale.Seed = *seed
+	}
+
+	start := time.Now()
+	fmt.Printf("reservoir-bench: scale=%s, %d PEs/node, nodes %v (virtual times; deterministic)\n",
+		scale.Name, scale.PEsPerNode, scale.Nodes)
+
+	run := func(name string, f func()) {
+		t := time.Now()
+		f()
+		fmt.Printf("\n[%s done in %v wall time]\n", name, time.Since(t).Round(time.Millisecond))
+	}
+	switch *exp {
+	case "weak":
+		run("weak", func() { bench.WeakScaling(scale, os.Stdout) })
+	case "strong":
+		run("strong", func() { bench.StrongScaling(scale, os.Stdout) })
+	case "composition":
+		run("composition", func() { bench.Composition(scale, os.Stdout) })
+	case "depth":
+		run("depth", func() { bench.RecursionDepth(scale, os.Stdout) })
+	case "insertions":
+		run("insertions", func() { bench.InsertionBound(scale, os.Stdout) })
+	case "ablation":
+		run("ablation", func() { bench.Ablation(scale, os.Stdout) })
+	case "all":
+		run("weak", func() { bench.WeakScaling(scale, os.Stdout) })
+		run("strong", func() { bench.StrongScaling(scale, os.Stdout) })
+		run("composition", func() { bench.Composition(scale, os.Stdout) })
+		run("depth", func() { bench.RecursionDepth(scale, os.Stdout) })
+		run("insertions", func() { bench.InsertionBound(scale, os.Stdout) })
+		run("ablation", func() { bench.Ablation(scale, os.Stdout) })
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,100 @@
+// Command reservoir-sample draws a weighted (or uniform) random sample of k
+// lines from stdin using the sequential reservoir samplers — a practical
+// stream-sampling tool built on the library.
+//
+// Usage:
+//
+//	seq 1000000 | reservoir-sample -k 10
+//	awk '{print $3, $0}' access.log | reservoir-sample -k 100 -weighted
+//
+// With -weighted, each line must start with a strictly positive weight
+// followed by whitespace; the weight column is stripped from the output.
+// Lines stream through in one pass with O(k) memory.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"reservoir"
+)
+
+func main() {
+	k := flag.Int("k", 10, "sample size")
+	weighted := flag.Bool("weighted", false, "first whitespace-separated field of each line is its weight")
+	seed := flag.Uint64("seed", 42, "RNG seed")
+	flag.Parse()
+	if *k < 1 {
+		fmt.Fprintln(os.Stderr, "reservoir-sample: -k must be >= 1")
+		os.Exit(2)
+	}
+
+	// The samplers store item IDs; keep the sampled lines in a small
+	// id->line map that we prune to the current sample periodically.
+	lines := make(map[uint64]string, 2*(*k))
+	var id uint64
+
+	var sample func() []reservoir.Item
+	var process func(weight float64)
+
+	if *weighted {
+		s := reservoir.NewWeighted(*k, *seed)
+		sample = s.Sample
+		process = func(w float64) { s.Process(reservoir.Item{W: w, ID: id}) }
+	} else {
+		s := reservoir.NewUniform(*k, *seed)
+		sample = s.Sample
+		process = func(w float64) { s.Process(reservoir.Item{W: w, ID: id}) }
+	}
+
+	prune := func() {
+		keep := make(map[uint64]string, *k)
+		for _, it := range sample() {
+			keep[it.ID] = lines[it.ID]
+		}
+		lines = keep
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for in.Scan() {
+		line := in.Text()
+		w := 1.0
+		if *weighted {
+			fields := strings.SplitN(strings.TrimSpace(line), " ", 2)
+			if len(fields) == 0 || fields[0] == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "reservoir-sample: skipping line with bad weight %q\n", fields[0])
+				id++
+				continue
+			}
+			w = v
+			if len(fields) == 2 {
+				line = fields[1]
+			} else {
+				line = ""
+			}
+		}
+		lines[id] = line
+		process(w)
+		id++
+		if len(lines) > 4*(*k)+64 {
+			prune()
+		}
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "reservoir-sample: %v\n", err)
+		os.Exit(1)
+	}
+	prune()
+	for _, it := range sample() {
+		fmt.Println(lines[it.ID])
+	}
+}

@@ -1,0 +1,42 @@
+// Quickstart: maintain a weighted random sample over a single stream with
+// O(k) memory, then over a simulated 8-PE distributed stream.
+package main
+
+import (
+	"fmt"
+
+	"reservoir"
+)
+
+func main() {
+	// --- Sequential: sample 5 of a million weighted items -----------------
+	s := reservoir.NewWeighted(5, 42)
+	for i := uint64(0); i < 1_000_000; i++ {
+		// Item i has weight proportional to 1 + (i mod 1000).
+		s.Process(reservoir.Item{W: 1 + float64(i%1000), ID: i})
+	}
+	fmt.Println("sequential weighted sample of 1M items:")
+	for _, it := range s.Sample() {
+		fmt.Printf("  item %7d  weight %4.0f\n", it.ID, it.W)
+	}
+
+	// --- Distributed: 8 PEs, mini-batches, no coordinator -----------------
+	cfg := reservoir.Config{K: 10, Weighted: true, Seed: 1}
+	cl, err := reservoir.NewCluster(8, cfg)
+	if err != nil {
+		panic(err)
+	}
+	src := reservoir.UniformSource{Seed: 2, BatchLen: 25_000, Lo: 0, Hi: 100}
+	for round := 0; round < 5; round++ {
+		cl.ProcessRound(src) // every PE ingests 25k items, then the PEs
+		// jointly select the new key threshold
+	}
+	fmt.Printf("\ndistributed sample of %d items across 8 PEs (%d rounds):\n",
+		8*25_000*5, cl.Round())
+	for _, it := range cl.Sample() {
+		fmt.Printf("  item %14d  weight %6.2f\n", it.ID, it.W)
+	}
+	th, _ := cl.Threshold()
+	fmt.Printf("key threshold %.3g, virtual time %.2f ms, %d network messages\n",
+		th, cl.VirtualTime()/1e6, cl.NetworkStats().Messages)
+}

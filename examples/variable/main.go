@@ -1,0 +1,49 @@
+// Variable-size reservoir (paper Sec 4.4): when the application tolerates a
+// sample size anywhere in [kmin, kmax], the sampler lets the sample grow
+// for several mini-batches and only occasionally runs a (faster,
+// approximate) selection — trading exact size for far fewer collective
+// operations.
+//
+// This example contrasts the number of selections and the virtual running
+// time of fixed-size and variable-size sampling on the same stream.
+package main
+
+import (
+	"fmt"
+
+	"reservoir"
+)
+
+const (
+	pes      = 32
+	rounds   = 30
+	batchLen = 2_000
+)
+
+func run(cfg reservoir.Config, label string) {
+	cl, err := reservoir.NewCluster(pes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	src := reservoir.UniformSource{Seed: 5, BatchLen: batchLen, Lo: 0, Hi: 100}
+	for round := 0; round < rounds; round++ {
+		cl.ProcessRound(src)
+	}
+	c := cl.Counters()
+	selections := c.Selections / int64(pes)
+	if cl.Algorithm() == reservoir.CentralizedGather {
+		selections = c.Selections
+	}
+	fmt.Printf("%-22s sample size %4d   selections %2d/%d rounds   virtual time %7.2f ms\n",
+		label, cl.SampleSize(), selections, rounds, cl.VirtualTime()/1e6)
+}
+
+func main() {
+	fmt.Printf("%d PEs, %d rounds of %d items/PE\n\n", pes, rounds, batchLen)
+	run(reservoir.Config{K: 1000, Weighted: true, Seed: 1},
+		"fixed k=1000")
+	run(reservoir.Config{KMin: 1000, KMax: 2000, Weighted: true, Seed: 1},
+		"variable k in 1k..2k")
+	run(reservoir.Config{KMin: 1000, KMax: 4000, Weighted: true, Seed: 1},
+		"variable k in 1k..4k")
+}

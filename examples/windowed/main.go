@@ -1,0 +1,40 @@
+// Sliding-window sampling (the paper's future-work extension, Sec 7):
+// maintain a weighted sample over only the most recent items of a stream.
+//
+// A sensor stream drifts over time: recent readings have IDs near the
+// stream head. A plain reservoir sample keeps items from the whole history,
+// while the windowed sampler's items all come from the last `window`
+// readings.
+package main
+
+import (
+	"fmt"
+
+	"reservoir"
+)
+
+func main() {
+	const (
+		total  = 1_000_000
+		window = 50_000
+		k      = 8
+	)
+	win := reservoir.NewWindowed(k, window, window/10, 11)
+	whole := reservoir.NewWeighted(k, 12)
+	for i := uint64(0); i < total; i++ {
+		it := reservoir.Item{W: 1 + float64(i%100), ID: i}
+		win.Process(it)
+		whole.Process(it)
+	}
+
+	fmt.Printf("stream of %d items; window = last %d\n\n", total, window)
+	fmt.Println("whole-stream reservoir sample (IDs spread over all history):")
+	for _, it := range whole.Sample() {
+		fmt.Printf("  item %8d (age %8d)\n", it.ID, total-it.ID)
+	}
+	fmt.Printf("\nwindowed sample (all IDs within the last %d, span %d):\n",
+		window, win.WindowSpan())
+	for _, it := range win.Sample() {
+		fmt.Printf("  item %8d (age %8d)\n", it.ID, total-it.ID)
+	}
+}

@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunBasics(t *testing.T) {
+	s := TinyScale()
+	r := Run(RunParams{
+		P: 4, K: 50, BatchPerPE: 1000, Algo: Algos()[0],
+		Warmup: 1, Measure: 2, Seed: 1, Model: s.Model,
+	})
+	if r.RoundNS <= 0 || r.TotalNS <= r.RoundNS {
+		t.Fatalf("times wrong: %+v", r)
+	}
+	if r.ThroughputPerPE <= 0 {
+		t.Fatal("no throughput")
+	}
+	if r.AvgSelectionDepth <= 0 {
+		t.Fatal("no selection depth recorded")
+	}
+	if r.MeanInsertedPerPE <= 0 || r.MaxInsertedPerPE < r.MeanInsertedPerPE {
+		t.Fatalf("insertion stats wrong: %+v", r)
+	}
+	if r.MsgsPerRound <= 0 || r.WordsPerRound <= 0 {
+		t.Fatal("no network traffic")
+	}
+}
+
+func TestRunGatherHasGatherTime(t *testing.T) {
+	s := TinyScale()
+	r := Run(RunParams{
+		P: 4, K: 50, BatchPerPE: 1000, Algo: Algos()[2],
+		Warmup: 1, Measure: 2, Seed: 1, Model: s.Model,
+	})
+	if r.Timing.GatherNS <= 0 {
+		t.Fatal("gather algo without gather time")
+	}
+	if r.AvgSelectionDepth != 0 {
+		t.Fatal("gather algo reported selection recursion depth")
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	s := TinyScale()
+	var buf bytes.Buffer
+	rows := WeakScaling(s, &buf)
+	want := len(s.WeakBatch) * len(s.WeakK) * len(Algos()) * len(s.Nodes)
+	if len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	// The ours baseline point must have speedup exactly 1.
+	for _, r := range rows {
+		if r.Algo == "ours" && r.Nodes == s.Nodes[0] {
+			if math.Abs(r.Speedup-1) > 1e-9 {
+				t.Fatalf("baseline speedup = %v", r.Speedup)
+			}
+		}
+		if math.IsNaN(r.Speedup) || r.Speedup <= 0 {
+			t.Fatalf("bad speedup in row %+v", r)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 3") || !strings.Contains(out, "ideal") {
+		t.Error("missing table headers")
+	}
+	// Speedups should grow with node count for ours (weak scaling works at
+	// tiny scale too, if modestly).
+	byNodes := map[int]float64{}
+	for _, r := range rows {
+		if r.Algo == "ours" && r.K == s.WeakK[0] && r.BatchB == s.WeakBatch[len(s.WeakBatch)-1] {
+			byNodes[r.Nodes] = r.Speedup
+		}
+	}
+	if byNodes[s.Nodes[len(s.Nodes)-1]] <= byNodes[s.Nodes[0]] {
+		t.Errorf("weak scaling speedup not increasing: %v", byNodes)
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	s := TinyScale()
+	var buf bytes.Buffer
+	rows := StrongScaling(s, &buf)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if math.IsNaN(r.Speedup) || r.Speedup <= 0 {
+			t.Fatalf("bad speedup in row %+v", r)
+		}
+		if r.Result.ThroughputPerPE <= 0 {
+			t.Fatalf("bad throughput in row %+v", r)
+		}
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "Figure 5") {
+		t.Error("missing figure headers")
+	}
+}
+
+func TestCompositionShape(t *testing.T) {
+	s := TinyScale()
+	var buf bytes.Buffer
+	rows := Composition(s, &buf)
+	if len(rows) == 0 {
+		t.Fatal("no composition rows")
+	}
+	for _, r := range rows {
+		// One of the two algorithms must be the normalization reference
+		// (total fraction 1).
+		slowest := math.Max(r.Ours.Total, r.Gather.Total)
+		if math.Abs(slowest-1) > 1e-9 {
+			t.Fatalf("normalization broken: %+v", r)
+		}
+		if r.Ours.Gather != 0 {
+			t.Fatalf("ours reported gather fraction: %+v", r)
+		}
+		if r.Gather.Total <= 0 || r.Ours.Total <= 0 {
+			t.Fatalf("empty totals: %+v", r)
+		}
+	}
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("missing figure header")
+	}
+}
+
+func TestRecursionDepthDirection(t *testing.T) {
+	s := TinyScale()
+	var buf bytes.Buffer
+	rows := RecursionDepth(s, &buf)
+	if len(rows) != len(s.WeakK) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Depth1 <= 0 || r.Depth8 <= 0 {
+			t.Fatalf("missing depths: %+v", r)
+		}
+		if r.Depth8 > r.Depth1 {
+			t.Errorf("k=%d: 8 pivots deeper than 1 pivot (%.2f vs %.2f)", r.K, r.Depth8, r.Depth1)
+		}
+	}
+}
+
+func TestInsertionBoundHolds(t *testing.T) {
+	s := TinyScale()
+	var buf bytes.Buffer
+	rows := InsertionBound(s, &buf)
+	for _, r := range rows {
+		// The bounds hold in expectation; allow sampling slack for the
+		// single tiny-scale realization.
+		if r.MeasuredMeanPerPE > 1.3*r.PredictedMeanPerPE+2 {
+			t.Errorf("k=%d: mean insertions %.1f exceed Lemma 2 bound %.1f",
+				r.K, r.MeasuredMeanPerPE, r.PredictedMeanPerPE)
+		}
+		if r.MeasuredMaxPE > 1.5*r.PredictedMaxPE+5 {
+			t.Errorf("k=%d: max insertions %.1f exceed Theorem 3 bound %.1f",
+				r.K, r.MeasuredMaxPE, r.PredictedMaxPE)
+		}
+		if r.MeasuredMeanPerPE <= 0 {
+			t.Errorf("k=%d: no post-warmup insertions measured", r.K)
+		}
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	for _, s := range []Scale{TinyScale(), SmallScale(), PaperScale()} {
+		if s.PEsPerNode < 1 || len(s.Nodes) == 0 || s.Measure < 1 {
+			t.Fatalf("%s: bad scale %+v", s.Name, s)
+		}
+		for _, b := range s.StrongB {
+			p := s.Nodes[len(s.Nodes)-1] * s.PEsPerNode
+			if b%p != 0 {
+				t.Errorf("%s: strong batch %d not divisible by max PEs %d", s.Name, b, p)
+			}
+		}
+		if s.Model.CacheItems <= 0 {
+			t.Errorf("%s: cache model missing", s.Name)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	s := TinyScale()
+	p := RunParams{P: 4, K: 30, BatchPerPE: 500, Algo: Algos()[1], Warmup: 1, Measure: 2, Seed: 9, Model: s.Model}
+	a, b := Run(p), Run(p)
+	if a.RoundNS != b.RoundNS || a.TotalNS != b.TotalNS || a.MeanInsertedPerPE != b.MeanInsertedPerPE {
+		t.Fatalf("virtual-time runs not deterministic: %+v vs %+v", a, b)
+	}
+}

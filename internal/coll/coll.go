@@ -1,0 +1,307 @@
+// Package coll implements the collective communication operations of the
+// paper's machine model (Sec 3, "Collective Communication") on top of the
+// simulated network of internal/simnet:
+//
+//   - Broadcast, Reduce, AllReduce, Barrier in O(βℓ + α log p) time,
+//   - Gather (and AllGather) in O(βpℓ + α log p) time,
+//
+// using binomial trees and, for AllReduce on power-of-two sub-clusters, a
+// butterfly (hypercube) exchange. All operations are SPMD: every PE of the
+// communicator must call the same sequence of collectives; a per-communicator
+// operation counter generates matching message tags.
+package coll
+
+import (
+	"sort"
+
+	"reservoir/internal/simnet"
+)
+
+// Comm is a communicator: one PE's handle for participating in collectives
+// over the whole cluster. Communicators on different PEs stay in lockstep
+// because SPMD code issues the same operations in the same order.
+type Comm struct {
+	PE  *simnet.PE
+	p   int
+	seq int
+}
+
+// New returns a communicator for the given PE spanning all p PEs of its
+// cluster.
+func New(pe *simnet.PE) *Comm {
+	return &Comm{PE: pe, p: pe.P()}
+}
+
+// P returns the number of PEs in the communicator.
+func (c *Comm) P() int { return c.p }
+
+// Rank returns the calling PE's rank.
+func (c *Comm) Rank() int { return c.PE.ID() }
+
+// nextTag returns a fresh tag for one collective operation instance.
+// Collectives may use up to tagStride distinct tags internally.
+const tagStride = 4
+
+func (c *Comm) nextTag() int {
+	t := c.seq * tagStride
+	c.seq++
+	return t
+}
+
+// Op is an associative combining function. Collectives apply it in rank
+// order (op(lower-rank acc, higher-rank acc)), so non-commutative but
+// associative operations are deterministic under Reduce. AllReduce's
+// butterfly interleaves rank blocks and additionally requires the operation
+// to be commutative (all ops in this package are).
+//
+// Because the simulated network passes payloads by reference, an Op must
+// never mutate its arguments; it must return a fresh (or operand-aliasing
+// but unmodified) value.
+type Op[T any] func(a, b T) T
+
+// Broadcast distributes val (of the given size in machine words) from root
+// to all PEs and returns it. Binomial tree: O(β·words + α log p).
+func Broadcast[T any](c *Comm, root int, val T, words int) T {
+	tag := c.nextTag()
+	p := c.p
+	if p == 1 {
+		return val
+	}
+	rel := (c.Rank() - root + p) % p
+	// Highest power of two < p bounds the sender masks.
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	lsb := top
+	if rel != 0 {
+		lsb = rel & (-rel)
+		parent := (rel - lsb + root) % p
+		val = c.PE.Recv(parent, tag).(T)
+	}
+	for m := lsb >> 1; m >= 1; m >>= 1 {
+		child := rel + m
+		if child < p {
+			c.PE.Send((child+root)%p, tag, val, words)
+		}
+	}
+	return val
+}
+
+// Reduce combines the PEs' values with op; the result is returned at root
+// (other PEs receive their partial accumulation, which they must ignore).
+// Binomial tree: O(β·words + α log p).
+func Reduce[T any](c *Comm, root int, val T, op Op[T], words int) T {
+	tag := c.nextTag()
+	p := c.p
+	if p == 1 {
+		return val
+	}
+	rel := (c.Rank() - root + p) % p
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	lsb := top
+	if rel != 0 {
+		lsb = rel & (-rel)
+	}
+	acc := val
+	for m := 1; m < lsb; m <<= 1 {
+		child := rel + m
+		if child >= p {
+			break
+		}
+		cv := c.PE.Recv((child+root)%p, tag).(T)
+		// Child rel+m covers higher relative ranks than everything
+		// accumulated so far.
+		acc = op(acc, cv)
+	}
+	if rel != 0 {
+		parent := (rel - lsb + root) % p
+		c.PE.Send(parent, tag, acc, words)
+	}
+	return acc
+}
+
+// AllReduce combines the PEs' values with op and returns the result on
+// every PE. For the power-of-two portion of the cluster it uses a butterfly
+// exchange (log p rounds); remainder PEs fold in and out at the edges.
+// O(β·words·log p + α log p); for the small fixed-size values used by the
+// sampler this matches the O(βℓ + α log p) bound of the model.
+func AllReduce[T any](c *Comm, val T, op Op[T], words int) T {
+	tag := c.nextTag()
+	p := c.p
+	if p == 1 {
+		return val
+	}
+	// p2 = largest power of two <= p.
+	p2 := 1
+	for p2*2 <= p {
+		p2 *= 2
+	}
+	id := c.Rank()
+	acc := val
+	// Fold: extras send their value down to id-p2.
+	if id >= p2 {
+		c.PE.Send(id-p2, tag, acc, words)
+	} else {
+		if id+p2 < p {
+			ev := c.PE.Recv(id+p2, tag).(T)
+			acc = op(acc, ev)
+		}
+		// Butterfly on [0, p2).
+		for m := 1; m < p2; m <<= 1 {
+			partner := id ^ m
+			c.PE.Send(partner, tag+1, acc, words)
+			pv := c.PE.Recv(partner, tag+1).(T)
+			if partner > id {
+				acc = op(acc, pv)
+			} else {
+				acc = op(pv, acc)
+			}
+		}
+		if id+p2 < p {
+			c.PE.Send(id+p2, tag+2, acc, words)
+		}
+	}
+	if id >= p2 {
+		acc = c.PE.Recv(id-p2, tag+2).(T)
+	}
+	return acc
+}
+
+// Barrier synchronizes all PEs (and their virtual clocks) without carrying
+// data.
+func Barrier(c *Comm) {
+	AllReduce(c, struct{}{}, func(a, _ struct{}) struct{} { return a }, 1)
+}
+
+// gatherChunk carries one PE's contribution through the gather tree.
+type gatherChunk[T any] struct {
+	src   int
+	items []T
+}
+
+// Gather collects a variable-length slice from every PE at root. At root it
+// returns a slice indexed by rank; on other PEs it returns nil. Binomial
+// tree with payload concatenation: O(β·Σℓ_i + α log p) along the critical
+// path, i.e. O(βpℓ + α log p) for equal contributions, matching the model.
+func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
+	tag := c.nextTag()
+	p := c.p
+	own := gatherChunk[T]{src: c.Rank(), items: items}
+	if p == 1 {
+		return [][]T{items}
+	}
+	rel := (c.Rank() - root + p) % p
+	top := 1
+	for top < p {
+		top <<= 1
+	}
+	lsb := top
+	if rel != 0 {
+		lsb = rel & (-rel)
+	}
+	chunks := []gatherChunk[T]{own}
+	totalItems := len(items)
+	for m := 1; m < lsb; m <<= 1 {
+		child := rel + m
+		if child >= p {
+			break
+		}
+		cv := c.PE.Recv((child+root)%p, tag).([]gatherChunk[T])
+		for _, ch := range cv {
+			totalItems += len(ch.items)
+		}
+		chunks = append(chunks, cv...)
+	}
+	if rel != 0 {
+		parent := (rel - lsb + root) % p
+		// Words: payload plus one header word per chunk.
+		c.PE.Send(parent, tag, chunks, totalItems*wordsPerItem+len(chunks))
+		return nil
+	}
+	out := make([][]T, p)
+	for _, ch := range chunks {
+		out[ch.src] = ch.items
+	}
+	return out
+}
+
+// AllGather collects every PE's slice and returns the full rank-indexed
+// table on every PE (Gather to root 0 followed by a Broadcast).
+func AllGather[T any](c *Comm, items []T, wordsPerItem int) [][]T {
+	parts := Gather(c, 0, items, wordsPerItem)
+	total := 0
+	if c.Rank() == 0 {
+		for _, part := range parts {
+			total += len(part)
+		}
+	}
+	total = Broadcast(c, 0, total, 1)
+	return Broadcast(c, 0, parts, total*wordsPerItem+c.p)
+}
+
+// --- common reduction ops ------------------------------------------------
+
+// MinFloat64 returns the smaller of two float64s.
+func MinFloat64(a, b float64) float64 {
+	if b < a {
+		return b
+	}
+	return a
+}
+
+// MaxFloat64 returns the larger of two float64s.
+func MaxFloat64(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// SumInt adds two ints.
+func SumInt(a, b int) int { return a + b }
+
+// SumInts adds two equal-length int vectors elementwise into a fresh slice
+// (operands are not mutated; see Op).
+func SumInts(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// MergeSmallest returns a bound Op that merges two ascending-sorted slices,
+// keeping the d smallest elements, with less as the order.
+func MergeSmallest[T any](d int, less func(a, b T) bool) Op[[]T] {
+	return func(a, b []T) []T {
+		out := make([]T, 0, min(len(a)+len(b), d))
+		i, j := 0, 0
+		for len(out) < d && (i < len(a) || j < len(b)) {
+			switch {
+			case i == len(a):
+				out = append(out, b[j])
+				j++
+			case j == len(b):
+				out = append(out, a[i])
+				i++
+			case less(b[j], a[i]):
+				out = append(out, b[j])
+				j++
+			default:
+				out = append(out, a[i])
+				i++
+			}
+		}
+		return out
+	}
+}
+
+// SortSlice sorts s ascending according to less (tiny helper shared by the
+// selection code and tests; avoids repeating sort.Slice closures).
+func SortSlice[T any](s []T, less func(a, b T) bool) {
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+}

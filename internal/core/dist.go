@@ -1,0 +1,447 @@
+package core
+
+import (
+	"math"
+
+	"reservoir/internal/btree"
+	"reservoir/internal/coll"
+	"reservoir/internal/costmodel"
+	"reservoir/internal/distsel"
+	"reservoir/internal/rng"
+	"reservoir/internal/simnet"
+	"reservoir/internal/workload"
+)
+
+// Sampler is the common interface of the distributed mini-batch samplers
+// (the paper's algorithm and the centralized baseline). All methods are
+// SPMD: every PE of the cluster must call them collectively and in the same
+// order.
+type Sampler interface {
+	// ProcessBatch ingests this PE's mini-batch for the current round and
+	// runs the collective post-processing (selection / gathering).
+	ProcessBatch(b workload.Batch)
+	// CollectSample gathers the current global sample at PE 0 (nil on the
+	// other PEs).
+	CollectSample() []workload.Item
+	// SampleSize returns the current global sample size (on every PE).
+	SampleSize() int
+	// Threshold returns the current global key threshold and whether one
+	// has been established (i.e. at least k items were seen).
+	Threshold() (float64, bool)
+	// Timing returns this PE's accumulated per-phase virtual times.
+	Timing() Timing
+	// Counters returns this PE's accumulated operation counts.
+	Counters() Counters
+}
+
+// DistPE is one PE of the paper's fully distributed reservoir sampler
+// (Algorithm 1, Sec 4.2/4.3): the local part of the sample lives in a B+
+// tree keyed by random variates; a global key threshold gates insertions;
+// after each mini-batch a distributed selection determines the new
+// threshold and each PE discards the local items above it.
+type DistPE struct {
+	cfg   Config
+	comm  *coll.Comm
+	model costmodel.Model
+	src   *rng.Xoshiro256
+
+	res    *btree.Tree[workload.Item]
+	thresh btree.Key
+	haveT  bool
+
+	// Local thresholding state (Sec 5, first optimization), active only
+	// before a global threshold exists.
+	localThresh btree.Key
+	haveLocalT  bool
+
+	keySeq  uint64 // per-PE tie-break counter for key IDs
+	size    int    // current global sample size (all PEs agree)
+	seen    int64  // global number of items seen (all PEs agree)
+	timing  Timing
+	counter Counters
+}
+
+var _ Sampler = (*DistPE)(nil)
+
+// NewDistPE creates this PE's instance of the distributed sampler. Every PE
+// of the cluster must create one with an identical Config.
+func NewDistPE(comm *coll.Comm, cfg Config) (*DistPE, error) {
+	cfg, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	degree := cfg.TreeDegree
+	if degree == 0 {
+		degree = btree.DefaultDegree
+	}
+	return &DistPE{
+		cfg:   cfg,
+		comm:  comm,
+		model: cfg.Model,
+		src:   rng.NewXoshiro256(rng.Mix64(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(comm.Rank()+1)))),
+		res:   btree.NewWithDegree[workload.Item](degree),
+	}, nil
+}
+
+// nextKeyID returns a cluster-unique tie-break ID for a new key.
+func (pe *DistPE) nextKeyID() uint64 {
+	pe.keySeq++
+	return uint64(pe.comm.Rank())<<40 | pe.keySeq
+}
+
+// weightedKey draws the exponential key -ln(rand())/w of Sec 3.1.
+func (pe *DistPE) weightedKey(w float64) float64 {
+	return rng.Exponential(pe.src, w)
+}
+
+// ProcessBatch implements Sampler.
+func (pe *DistPE) ProcessBatch(b workload.Batch) {
+	clock := pe.comm.PE
+
+	// Phase 1: local scan & insert (the "insert" bars of Figure 6).
+	t0 := clock.Clock()
+	if !pe.haveT {
+		pe.insertAll(b)
+	} else if pe.cfg.Weighted {
+		pe.skipScanWeighted(b)
+	} else {
+		pe.skipScanUniform(b)
+	}
+	pe.counter.ItemsProcessed += int64(b.Len())
+	pe.timing.ScanNS += clock.Clock() - t0
+
+	// Phase 2+3: joint selection of the new threshold and local pruning.
+	pe.selectAndPrune(b.Len())
+}
+
+// insertAll handles batches arriving before a global threshold exists
+// (T = -inf in Algorithm 1): every item gets a key and enters the local
+// reservoir, subject to the local thresholding optimization of Sec 5.
+func (pe *DistPE) insertAll(b workload.Batch) {
+	n := b.Len()
+	cap := pe.cfg.sampleCap()
+	useLocalT := pe.cfg.LocalThreshold && n >= maxInt(3*cap/2, cap+500)
+	prune := maxInt(11*cap/10, cap+250)
+
+	// Charges: one key variate per item plus one tree insert per accepted
+	// item; scan touch cost per item.
+	perItem := pe.model.ScanPerItemNS(n, false) + pe.model.RNGNS
+	clock := pe.comm.PE
+	for i := 0; i < n; i++ {
+		it := b.At(i)
+		var v float64
+		if pe.cfg.Weighted {
+			v = pe.weightedKey(it.W)
+		} else {
+			v = rng.U01(pe.src)
+		}
+		k := btree.Key{V: v, ID: pe.nextKeyID()}
+		if useLocalT && pe.haveLocalT && pe.localThresh.Less(k) {
+			continue
+		}
+		pe.res.Insert(k, it)
+		pe.counter.Inserted++
+		clock.Work(pe.model.TreeOpNS(pe.res.Len()))
+		if useLocalT && pe.res.Len() > prune {
+			// Refresh the local threshold: keep the cap smallest, discard
+			// the rest. The local reservoir is never pruned below cap, so
+			// the union of all local reservoirs keeps at least cap items.
+			tk, _, _ := pe.res.Select(cap)
+			pe.res.SplitAtRank(cap)
+			pe.localThresh, pe.haveLocalT = tk, true
+			clock.Work(pe.model.TreeOpNS(pe.res.Len()) * 2)
+		}
+	}
+	clock.Work(float64(n) * perItem)
+}
+
+// skipScanWeighted is the inner loop of Algorithm 1: skip an Exp(T)
+// amount of weight, insert the item the skip lands on with a key drawn
+// from (0, T), repeat. The global threshold T does not change during the
+// batch.
+func (pe *DistPE) skipScanWeighted(b workload.Batch) {
+	n := b.Len()
+	t := pe.thresh.V
+	clock := pe.comm.PE
+	draws := 0
+	x := rng.Exponential(pe.src, t)
+	draws++
+
+	j := 0
+	if pe.cfg.BlockedSkip {
+		// Process 32 items at a time: if the whole block's weight fits in
+		// the remaining skip, jump the block (this is the SIMD-friendly
+		// variant of Sec 5; the cost model charges it at a reduced
+		// per-item rate).
+		const block = 32
+		for j < n {
+			end := j + block
+			if end > n {
+				end = n
+			}
+			var sum float64
+			for i := j; i < end; i++ {
+				sum += b.At(i).W
+			}
+			if x > sum {
+				x -= sum
+				j = end
+				continue
+			}
+			for ; j < end; j++ {
+				it := b.At(j)
+				x -= it.W
+				if x <= 0 {
+					pe.insertBelow(it, t)
+					draws++ // the (0,T) key draw inside insertBelow
+					x = rng.Exponential(pe.src, t)
+					draws++
+				}
+			}
+		}
+	} else {
+		for ; j < n; j++ {
+			it := b.At(j)
+			x -= it.W
+			if x <= 0 {
+				pe.insertBelow(it, t)
+				draws += 2
+				x = rng.Exponential(pe.src, t)
+				draws++
+			}
+		}
+	}
+	clock.Work(float64(n)*pe.model.ScanPerItemNS(n, pe.cfg.BlockedSkip) + float64(draws)*pe.model.RNGNS)
+}
+
+// insertBelow inserts item it with a key drawn from (0, T) given that it
+// was already determined to enter the reservoir.
+func (pe *DistPE) insertBelow(it workload.Item, t float64) {
+	xlo := math.Exp(-t * it.W)
+	v := -math.Log(rng.Uniform(pe.src, xlo, 1)) / it.W
+	pe.res.Insert(btree.Key{V: v, ID: pe.nextKeyID()}, it)
+	pe.counter.Inserted++
+	pe.comm.PE.Work(pe.model.TreeOpNS(pe.res.Len()))
+}
+
+// skipScanUniform is the uniform variant (Sec 4.3): geometric jumps skip
+// whole items in O(1), so local work is proportional to the number of
+// insertions only (Corollary 4).
+func (pe *DistPE) skipScanUniform(b workload.Batch) {
+	n := b.Len()
+	t := pe.thresh.V
+	clock := pe.comm.PE
+	draws := 0
+	j := rng.GeometricSkip(pe.src, t)
+	draws++
+	for j < n {
+		it := b.At(j)
+		v := rng.U01CO(pe.src) * t
+		pe.res.Insert(btree.Key{V: v, ID: pe.nextKeyID()}, it)
+		pe.counter.Inserted++
+		draws++
+		clock.Work(pe.model.TreeOpNS(pe.res.Len()))
+		j += 1 + rng.GeometricSkip(pe.src, t)
+		draws++
+	}
+	clock.Work(float64(draws) * pe.model.RNGNS)
+}
+
+// selectAndPrune runs the collective part of Algorithm 1: determine the
+// global candidate count, select the key of global rank k (or a rank in
+// [KMin, KMax] in variable mode), and discard local items above it.
+func (pe *DistPE) selectAndPrune(batchLen int) {
+	clock := pe.comm.PE
+
+	t0 := clock.Clock()
+	sizes := coll.AllReduce(pe.comm, []int{pe.res.Len(), batchLen}, coll.SumInts, 2)
+	s := sizes[0]
+	pe.seen += int64(sizes[1])
+	pe.timing.SelectNS += clock.Clock() - t0
+
+	fixed := pe.cfg.KMax == 0
+	var target int
+	switch {
+	case fixed:
+		target = pe.cfg.K
+		if s < target {
+			// Fewer than k items seen globally: the sample is everything;
+			// no threshold yet.
+			pe.size = s
+			return
+		}
+		if s == target {
+			// The union is exactly the sample; the new threshold is the
+			// global maximum key, found with one all-reduction.
+			pe.setThresholdToMax()
+			pe.size = s
+			return
+		}
+	default:
+		if s <= pe.cfg.KMax {
+			// Variable mode (Sec 4.4): let the sample grow until it
+			// exceeds KMax; skip the selection entirely.
+			pe.size = s
+			if !pe.haveT && s >= pe.cfg.KMin {
+				// Establish an initial threshold once the range is
+				// reachable, so subsequent batches filter: without this
+				// the reservoir would keep absorbing every item.
+				pe.setThresholdToMax()
+			}
+			return
+		}
+		target = pe.cfg.KMax
+	}
+
+	// Distributed selection (the "select" bars of Figure 6).
+	t1 := clock.Clock()
+	seq := chargedSeq{s: distsel.TreeSeq[workload.Item]{T: pe.res}, pe: clock, m: pe.model}
+	opt := distsel.Options{
+		Pivots: pe.cfg.Pivots,
+		RNG:    chargedRNG{src: pe.src, pe: clock, ns: pe.model.RNGNS},
+	}
+	var res distsel.Result
+	if fixed {
+		switch pe.cfg.Strategy {
+		case SelRandomDist:
+			res = distsel.RandomDistKth(pe.comm, seq, target, opt)
+		default:
+			res = distsel.KthSmallest(pe.comm, seq, target, opt)
+		}
+	} else {
+		res = distsel.ApproxSelect(pe.comm, seq, pe.cfg.KMin, pe.cfg.KMax, opt)
+	}
+	pe.counter.Selections++
+	pe.counter.SelectionRounds += int64(res.Rounds)
+	if res.Gathered {
+		pe.counter.GatheredSelections++
+	}
+	pe.timing.SelectNS += clock.Clock() - t1
+
+	// Threshold phase: Algorithm 1's final all-reduction (T := max_j t@j)
+	// plus the local split that discards items above the threshold.
+	t2 := clock.Clock()
+	localMax := math.Inf(-1)
+	if i := pe.res.CountLeq(res.Key); i > 0 {
+		clock.Work(pe.model.TreeOpNS(pe.res.Len()))
+		if k, _, ok := pe.res.Select(i); ok {
+			localMax = k.V
+		}
+	}
+	_ = coll.AllReduce(pe.comm, localMax, coll.MaxFloat64, 1)
+	pe.res.SplitByKey(res.Key)
+	clock.Work(pe.model.TreeOpNS(pe.res.Len()) * 2)
+	pe.thresh, pe.haveT = res.Key, true
+	pe.haveLocalT = false
+	pe.size = res.Rank
+	pe.timing.ThresholdNS += clock.Clock() - t2
+}
+
+// setThresholdToMax sets the global threshold to the maximum key of the
+// union of the local reservoirs via one all-reduction.
+func (pe *DistPE) setThresholdToMax() {
+	clock := pe.comm.PE
+	t0 := clock.Clock()
+	local := btree.Key{V: math.Inf(-1)}
+	if k, _, ok := pe.res.Max(); ok {
+		local = k
+		clock.Work(pe.model.TreeOpNS(pe.res.Len()))
+	}
+	maxKey := coll.AllReduce(pe.comm, local, func(a, b btree.Key) btree.Key {
+		if a.Less(b) {
+			return b
+		}
+		return a
+	}, 2)
+	pe.thresh, pe.haveT = maxKey, true
+	pe.haveLocalT = false
+	pe.timing.ThresholdNS += clock.Clock() - t0
+}
+
+// CollectSample implements Sampler: the union of all local reservoirs,
+// gathered at PE 0.
+func (pe *DistPE) CollectSample() []workload.Item {
+	local := make([]workload.Item, 0, pe.res.Len())
+	pe.res.ForEach(func(_ btree.Key, it workload.Item) bool {
+		local = append(local, it)
+		return true
+	})
+	parts := coll.Gather(pe.comm, 0, local, 2)
+	if pe.comm.Rank() != 0 {
+		return nil
+	}
+	var all []workload.Item
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return all
+}
+
+// LocalSample returns this PE's part of the sample (no communication).
+func (pe *DistPE) LocalSample() []workload.Item {
+	local := make([]workload.Item, 0, pe.res.Len())
+	pe.res.ForEach(func(_ btree.Key, it workload.Item) bool {
+		local = append(local, it)
+		return true
+	})
+	return local
+}
+
+// LocalSize returns the size of this PE's local reservoir.
+func (pe *DistPE) LocalSize() int { return pe.res.Len() }
+
+// SampleSize implements Sampler.
+func (pe *DistPE) SampleSize() int { return pe.size }
+
+// Seen returns the global number of items processed so far.
+func (pe *DistPE) Seen() int64 { return pe.seen }
+
+// Threshold implements Sampler.
+func (pe *DistPE) Threshold() (float64, bool) { return pe.thresh.V, pe.haveT }
+
+// Timing implements Sampler.
+func (pe *DistPE) Timing() Timing { return pe.timing }
+
+// Counters implements Sampler.
+func (pe *DistPE) Counters() Counters { return pe.counter }
+
+// --- charging wrappers -----------------------------------------------------
+
+// chargedSeq charges B+ tree operation costs to the PE's virtual clock
+// before forwarding to the underlying sequence.
+type chargedSeq struct {
+	s  distsel.Seq
+	pe *simnet.PE
+	m  costmodel.Model
+}
+
+func (c chargedSeq) Len() int { return c.s.Len() }
+
+func (c chargedSeq) CountLeq(k btree.Key) int {
+	c.pe.Work(c.m.TreeOpNS(c.s.Len()))
+	return c.s.CountLeq(k)
+}
+
+func (c chargedSeq) Select(rank int) (btree.Key, bool) {
+	c.pe.Work(c.m.TreeOpNS(c.s.Len()))
+	return c.s.Select(rank)
+}
+
+// chargedRNG charges a per-variate cost to the PE's virtual clock.
+type chargedRNG struct {
+	src rng.Source
+	pe  *simnet.PE
+	ns  float64
+}
+
+func (c chargedRNG) Uint64() uint64 {
+	c.pe.Work(c.ns)
+	return c.src.Uint64()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"reservoir/internal/btree"
+	"reservoir/internal/rng"
+	"reservoir/internal/workload"
+)
+
+// Distributed checkpointing: each PE of the distributed sampler can
+// snapshot its local reservoir, threshold, and PRNG state, so a whole
+// cluster can be persisted and resumed bit-identically (same future
+// samples for the same future input). Virtual-time measurements and
+// operation counters restart from zero on restore; they are measurements
+// of a run, not sampler state.
+
+const kindDistPE = byte(3)
+
+// MarshalBinary snapshots this PE's sampler state.
+func (pe *DistPE) MarshalBinary() ([]byte, error) {
+	rngState, err := pe.src.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot RNG state: %w", err)
+	}
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(snapshotMagic)
+	w(byte(snapshotVersion))
+	w(kindDistPE)
+	w(uint32(pe.comm.Rank()))
+	w(boolByte(pe.haveT))
+	w(math.Float64bits(pe.thresh.V))
+	w(pe.thresh.ID)
+	w(boolByte(pe.haveLocalT))
+	w(math.Float64bits(pe.localThresh.V))
+	w(pe.localThresh.ID)
+	w(pe.keySeq)
+	w(uint64(pe.size))
+	w(uint64(pe.seen))
+	w(uint64(pe.res.Len()))
+	pe.res.ForEach(func(k btree.Key, it workload.Item) bool {
+		w(math.Float64bits(k.V))
+		w(k.ID)
+		w(math.Float64bits(it.W))
+		w(it.ID)
+		return true
+	})
+	w(uint64(len(rngState)))
+	buf.Write(rngState)
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary on a
+// freshly constructed DistPE with the same Config and rank.
+func (pe *DistPE) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic uint32
+	var version, kind byte
+	if err := rd(&magic); err != nil || magic != snapshotMagic {
+		return fmt.Errorf("core: not a sampler snapshot")
+	}
+	if err := rd(&version); err != nil || version != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	if err := rd(&kind); err != nil || kind != kindDistPE {
+		return fmt.Errorf("core: snapshot kind mismatch (got %d, want %d)", kind, kindDistPE)
+	}
+	var rank uint32
+	if err := rd(&rank); err != nil {
+		return fmt.Errorf("core: truncated snapshot: %w", err)
+	}
+	if int(rank) != pe.comm.Rank() {
+		return fmt.Errorf("core: snapshot is for PE %d, this is PE %d", rank, pe.comm.Rank())
+	}
+	var haveT, haveLocalT byte
+	var threshV, threshID, localV, localID uint64
+	var keySeq, size, seen, resLen uint64
+	if err := firstErr(
+		rd(&haveT), rd(&threshV), rd(&threshID),
+		rd(&haveLocalT), rd(&localV), rd(&localID),
+		rd(&keySeq), rd(&size), rd(&seen), rd(&resLen),
+	); err != nil {
+		return fmt.Errorf("core: truncated snapshot header: %w", err)
+	}
+	degree := pe.cfg.TreeDegree
+	if degree == 0 {
+		degree = btree.DefaultDegree
+	}
+	res := btree.NewWithDegree[workload.Item](degree)
+	var prev btree.Key
+	for i := uint64(0); i < resLen; i++ {
+		var kv, kid, wv, iid uint64
+		if err := firstErr(rd(&kv), rd(&kid), rd(&wv), rd(&iid)); err != nil {
+			return fmt.Errorf("core: truncated snapshot reservoir: %w", err)
+		}
+		k := btree.Key{V: math.Float64frombits(kv), ID: kid}
+		if i > 0 && !prev.Less(k) {
+			return fmt.Errorf("core: corrupt snapshot (reservoir keys out of order)")
+		}
+		prev = k
+		res.Insert(k, workload.Item{W: math.Float64frombits(wv), ID: iid})
+	}
+	var rngLen uint64
+	if err := rd(&rngLen); err != nil || rngLen > uint64(r.Len()) {
+		return fmt.Errorf("core: truncated snapshot RNG state")
+	}
+	rngState := make([]byte, rngLen)
+	if _, err := r.Read(rngState); err != nil {
+		return fmt.Errorf("core: truncated snapshot RNG state: %w", err)
+	}
+	src := rng.NewXoshiro256(1)
+	if err := src.UnmarshalBinary(rngState); err != nil {
+		return err
+	}
+
+	pe.res = res
+	pe.haveT = haveT != 0
+	pe.thresh = btree.Key{V: math.Float64frombits(threshV), ID: threshID}
+	pe.haveLocalT = haveLocalT != 0
+	pe.localThresh = btree.Key{V: math.Float64frombits(localV), ID: localID}
+	pe.keySeq = keySeq
+	pe.size = int(size)
+	pe.seen = int64(seen)
+	pe.src = src
+	pe.timing = Timing{}
+	pe.counter = Counters{}
+	return nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"testing"
+
+	"reservoir/internal/rng"
+	"reservoir/internal/stats"
+	"reservoir/internal/workload"
+)
+
+// exactInclusionProbs computes, by enumerating all ordered k-tuples, the
+// exact inclusion probability of every item under weighted sampling
+// without replacement (successive sampling): the j-th sample is item i
+// with probability w_i / (W - sum of already-drawn weights). This is the
+// definition in the paper's Sec 1.1 — the ground truth the samplers must
+// match.
+func exactInclusionProbs(weights []float64, k int) []float64 {
+	n := len(weights)
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	probs := make([]float64, n)
+	used := make([]bool, n)
+	var rec func(depth int, remaining float64, pathProb float64)
+	rec = func(depth int, remaining float64, pathProb float64) {
+		if depth == k {
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			p := pathProb * weights[i] / remaining
+			probs[i] += p
+			used[i] = true
+			rec(depth+1, remaining-weights[i], p)
+			used[i] = false
+		}
+	}
+	rec(0, total, 1)
+	return probs
+}
+
+func TestExactInclusionProbsSanity(t *testing.T) {
+	// Uniform weights: every inclusion probability must be k/n.
+	probs := exactInclusionProbs([]float64{1, 1, 1, 1}, 2)
+	for i, p := range probs {
+		if diff := p - 0.5; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("item %d: p=%v, want 0.5", i, p)
+		}
+	}
+	// Probabilities sum to k.
+	probs = exactInclusionProbs([]float64{3, 1, 4, 1, 5}, 3)
+	sum := 0.0
+	for _, p := range probs {
+		sum += p
+	}
+	if diff := sum - 3; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("inclusion probabilities sum to %v, want 3", sum)
+	}
+}
+
+// checkAgainstExact runs trials of sample() on the given weights and
+// chi-square-tests the per-item inclusion counts against the exact
+// enumeration.
+func checkAgainstExact(t *testing.T, name string, weights []float64, k, trials int,
+	sample func(trial int) []workload.Item) {
+	t.Helper()
+	exact := exactInclusionProbs(weights, k)
+	counts := make([]float64, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		s := sample(tr)
+		if len(s) != k {
+			t.Fatalf("trial %d: sample size %d, want %d", tr, len(s), k)
+		}
+		for _, it := range s {
+			counts[it.ID]++
+		}
+	}
+	expected := make([]float64, len(weights))
+	for i, p := range exact {
+		expected[i] = p * float64(trials)
+	}
+	stat, pval, err := stats.ChiSquare(counts, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pval < 1e-4 {
+		t.Errorf("%s: inclusion counts deviate from exact enumeration: chi2=%.2f p=%g\ncounts=%v\nexpected=%v",
+			name, stat, pval, counts, expected)
+	}
+}
+
+func TestSeqWeightedMatchesExactEnumeration(t *testing.T) {
+	weights := []float64{5, 1, 1, 2, 8, 3}
+	const k, trials = 2, 40000
+	items := make(workload.SliceBatch, len(weights))
+	for i, w := range weights {
+		items[i] = workload.Item{W: w, ID: uint64(i)}
+	}
+	checkAgainstExact(t, "sequential", weights, k, trials, func(tr int) []workload.Item {
+		s := NewSeqWeighted(k, rng.NewXoshiro256(uint64(tr)*2654435761+17))
+		s.ProcessBatch(items)
+		return s.Sample()
+	})
+}
+
+func TestNaiveOracleMatchesExactEnumeration(t *testing.T) {
+	// The oracle itself must match the definition (this anchors all the
+	// two-sample tests elsewhere in the suite).
+	weights := []float64{1, 4, 2, 6}
+	const k, trials = 2, 40000
+	items := make(workload.SliceBatch, len(weights))
+	for i, w := range weights {
+		items[i] = workload.Item{W: w, ID: uint64(i)}
+	}
+	checkAgainstExact(t, "oracle", weights, k, trials, func(tr int) []workload.Item {
+		s := NewNaiveOracle(k, true, rng.NewXoshiro256(uint64(tr)*97+3))
+		s.ProcessBatch(items)
+		return s.Sample()
+	})
+}
+
+func TestDistributedMatchesExactEnumeration(t *testing.T) {
+	// End-to-end: the fully distributed pipeline (2 PEs, 2 mini-batches)
+	// must match the exact successive-sampling probabilities.
+	weights := []float64{5, 1, 1, 2, 8, 3, 0.5, 4}
+	const k, trials, p = 3, 12000, 2
+	items := make(workload.SliceBatch, len(weights))
+	for i, w := range weights {
+		items[i] = workload.Item{W: w, ID: uint64(i)}
+	}
+	src := splitItems(items, p, 2)
+	checkAgainstExact(t, "distributed", weights, k, trials, func(tr int) []workload.Item {
+		cfg := Config{K: k, Weighted: true, Seed: uint64(tr)*131 + 7}
+		sample, _ := runDistributed(t, p, 2, cfg, false, src)
+		return sample
+	})
+}
+
+func TestGatherMatchesExactEnumeration(t *testing.T) {
+	weights := []float64{2, 2, 9, 1, 3, 6}
+	const k, trials, p = 2, 12000, 3
+	items := make(workload.SliceBatch, len(weights))
+	for i, w := range weights {
+		items[i] = workload.Item{W: w, ID: uint64(i)}
+	}
+	src := splitItems(items, p, 1)
+	checkAgainstExact(t, "gather", weights, k, trials, func(tr int) []workload.Item {
+		cfg := Config{K: k, Weighted: true, Seed: uint64(tr)*37 + 11}
+		sample, _ := runDistributed(t, p, 1, cfg, true, src)
+		return sample
+	})
+}
+
+func TestGatherUniformMode(t *testing.T) {
+	// Exercises the gather baseline's geometric-jump filter (uniform
+	// mode) across multiple rounds and checks the k/n law.
+	const n, k, p, rounds, trials = 40, 8, 4, 2, 3000
+	items := makeItems(n, func(i int) float64 { return 1 })
+	src := splitItems(items, p, rounds)
+	counts := make([]float64, n)
+	for tr := 0; tr < trials; tr++ {
+		cfg := Config{K: k, Weighted: false, Seed: uint64(tr)*59 + 23}
+		sample, _ := runDistributed(t, p, rounds, cfg, true, src)
+		if len(sample) != k {
+			t.Fatalf("trial %d: sample size %d", tr, len(sample))
+		}
+		for _, it := range sample {
+			counts[it.ID]++
+		}
+	}
+	expected := make([]float64, n)
+	for i := range expected {
+		expected[i] = float64(trials) * float64(k) / float64(n)
+	}
+	_, pval, err := stats.ChiSquare(counts, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pval < 1e-4 {
+		t.Errorf("gather uniform mode deviates from k/n: p=%g", pval)
+	}
+}

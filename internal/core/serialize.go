@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"reservoir/internal/rng"
+	"reservoir/internal/workload"
+)
+
+// Checkpointing for the sequential samplers: a stream processor can
+// snapshot a sampler, persist it, and resume the exact same sampling
+// process after a restart — including the PRNG state, so a resumed run is
+// bit-identical to an uninterrupted one.
+//
+// Binary layout (little endian): magic, version, kind, k,
+// skip state (float64 or int64), items-seen, weight-seen, heap size,
+// heap (key, weight, id)*, RNG state length, RNG state.
+
+const (
+	snapshotMagic   = uint32(0x5e5a3107)
+	snapshotVersion = 1
+	kindWeighted    = byte(1)
+	kindUniform     = byte(2)
+)
+
+// MarshalBinary snapshots the sampler. The sampler's random source must
+// implement encoding.BinaryMarshaler (the default xoshiro256** engine
+// does).
+func (s *SeqWeighted) MarshalBinary() ([]byte, error) {
+	return marshalSeq(kindWeighted, s.k, math.Float64bits(s.x), uint64(s.n),
+		s.wSum, &s.h, s.src)
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary. The
+// receiver's configuration is replaced entirely.
+func (s *SeqWeighted) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalSeq(kindWeighted, data)
+	if err != nil {
+		return err
+	}
+	s.k = st.k
+	s.x = math.Float64frombits(st.skipBits)
+	s.n = int64(st.n)
+	s.wSum = st.wSum
+	s.h = st.h
+	s.src = st.src
+	return nil
+}
+
+// MarshalBinary snapshots the sampler (see SeqWeighted.MarshalBinary).
+func (s *SeqUniform) MarshalBinary() ([]byte, error) {
+	return marshalSeq(kindUniform, s.k, uint64(s.skip), uint64(s.n), 0, &s.h, s.src)
+}
+
+// UnmarshalBinary restores a snapshot produced by MarshalBinary.
+func (s *SeqUniform) UnmarshalBinary(data []byte) error {
+	st, err := unmarshalSeq(kindUniform, data)
+	if err != nil {
+		return err
+	}
+	s.k = st.k
+	s.skip = int(st.skipBits)
+	s.n = int64(st.n)
+	s.h = st.h
+	s.src = st.src
+	return nil
+}
+
+func marshalSeq(kind byte, k int, skipBits, n uint64, wSum float64, h *maxHeap, src rng.Source) ([]byte, error) {
+	m, ok := src.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("core: random source %T does not support snapshots", src)
+	}
+	rngState, err := m.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot RNG state: %w", err)
+	}
+	var buf bytes.Buffer
+	w := func(v any) { _ = binary.Write(&buf, binary.LittleEndian, v) }
+	w(snapshotMagic)
+	w(byte(snapshotVersion))
+	w(kind)
+	w(uint64(k))
+	w(skipBits)
+	w(n)
+	w(math.Float64bits(wSum))
+	w(uint64(h.len()))
+	for i, key := range h.keys {
+		w(math.Float64bits(key))
+		w(math.Float64bits(h.items[i].W))
+		w(h.items[i].ID)
+	}
+	w(uint64(len(rngState)))
+	buf.Write(rngState)
+	return buf.Bytes(), nil
+}
+
+type seqState struct {
+	k        int
+	skipBits uint64
+	n        uint64
+	wSum     float64
+	h        maxHeap
+	src      rng.Source
+}
+
+func unmarshalSeq(wantKind byte, data []byte) (seqState, error) {
+	var st seqState
+	r := bytes.NewReader(data)
+	var magic uint32
+	var version, kind byte
+	rd := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	if err := rd(&magic); err != nil || magic != snapshotMagic {
+		return st, fmt.Errorf("core: not a sampler snapshot")
+	}
+	if err := rd(&version); err != nil || version != snapshotVersion {
+		return st, fmt.Errorf("core: unsupported snapshot version %d", version)
+	}
+	if err := rd(&kind); err != nil || kind != wantKind {
+		return st, fmt.Errorf("core: snapshot kind mismatch (got %d, want %d)", kind, wantKind)
+	}
+	var k, heapLen, rngLen uint64
+	var wSumBits uint64
+	if err := firstErr(rd(&k), rd(&st.skipBits), rd(&st.n), rd(&wSumBits), rd(&heapLen)); err != nil {
+		return st, fmt.Errorf("core: truncated snapshot header: %w", err)
+	}
+	st.k = int(k)
+	st.wSum = math.Float64frombits(wSumBits)
+	if st.k < 1 || heapLen > k {
+		return st, fmt.Errorf("core: corrupt snapshot (k=%d, heap=%d)", st.k, heapLen)
+	}
+	st.h.keys = make([]float64, heapLen)
+	st.h.items = make([]workload.Item, heapLen)
+	for i := uint64(0); i < heapLen; i++ {
+		var keyBits, wBits, id uint64
+		if err := firstErr(rd(&keyBits), rd(&wBits), rd(&id)); err != nil {
+			return st, fmt.Errorf("core: truncated snapshot heap: %w", err)
+		}
+		st.h.keys[i] = math.Float64frombits(keyBits)
+		st.h.items[i] = workload.Item{W: math.Float64frombits(wBits), ID: id}
+	}
+	// Validate the heap property rather than trusting the input.
+	for i := 1; i < int(heapLen); i++ {
+		if st.h.keys[i] > st.h.keys[(i-1)/2] {
+			return st, fmt.Errorf("core: corrupt snapshot (heap order violated at %d)", i)
+		}
+	}
+	if err := rd(&rngLen); err != nil || rngLen > uint64(r.Len()) {
+		return st, fmt.Errorf("core: truncated snapshot RNG state")
+	}
+	rngState := make([]byte, rngLen)
+	if _, err := r.Read(rngState); err != nil {
+		return st, fmt.Errorf("core: truncated snapshot RNG state: %w", err)
+	}
+	x := rng.NewXoshiro256(1)
+	if err := x.UnmarshalBinary(rngState); err != nil {
+		return st, err
+	}
+	st.src = x
+	return st, nil
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"sort"
+
+	"reservoir/internal/rng"
+	"reservoir/internal/workload"
+)
+
+// WindowedWeighted samples from a sliding window of the most recent items —
+// the extension the paper's conclusion (Sec 7) names as future work.
+//
+// Construction: the stream is cut into chunks of ChunkLen items; each chunk
+// keeps the (at most) k smallest-keyed of its items, using the same
+// exponential keys as the main algorithm (Sec 3.1). Any k-smallest key of a
+// window is necessarily among the k smallest of its own chunk, so the k
+// smallest keys over the chunks covering the window are exactly the window
+// sample. The window therefore slides at chunk granularity: Sample reflects
+// the last `Chunks` complete-or-partial chunks, covering between
+// (Chunks-1)·ChunkLen+1 and Chunks·ChunkLen of the most recent items.
+type WindowedWeighted struct {
+	k        int
+	chunkLen int
+	chunks   int
+	src      rng.Source
+
+	ring    []chunkSample // ring buffer of the newest `chunks` chunks
+	head    int           // index of the newest chunk in ring
+	inChunk int           // items in the newest chunk so far
+	n       int64
+}
+
+type chunkSample struct {
+	h    maxHeap
+	used bool
+}
+
+// NewWindowedWeighted creates a sliding-window weighted sampler: sample
+// size k over a window of `window` items, tracked at `chunkLen` item
+// granularity (window must be a multiple of chunkLen).
+func NewWindowedWeighted(k, window, chunkLen int, src rng.Source) *WindowedWeighted {
+	if k < 1 || chunkLen < 1 || window < chunkLen || window%chunkLen != 0 {
+		panic("core: windowed sampler needs k >= 1 and window a positive multiple of chunkLen")
+	}
+	chunks := window / chunkLen
+	return &WindowedWeighted{
+		k:        k,
+		chunkLen: chunkLen,
+		chunks:   chunks,
+		src:      src,
+		ring:     make([]chunkSample, chunks),
+	}
+}
+
+// Process feeds one item (weight must be strictly positive).
+func (s *WindowedWeighted) Process(it workload.Item) {
+	if s.inChunk == 0 || s.inChunk >= s.chunkLen {
+		// Start a new chunk, evicting the oldest.
+		if s.n > 0 {
+			s.head = (s.head + 1) % s.chunks
+		}
+		s.ring[s.head] = chunkSample{used: true}
+		s.inChunk = 0
+	}
+	c := &s.ring[s.head]
+	v := rng.Exponential(s.src, it.W)
+	if c.h.len() < s.k {
+		c.h.push(v, it)
+	} else if v < c.h.keys[0] {
+		c.h.replaceMax(v, it)
+	}
+	s.inChunk++
+	s.n++
+}
+
+// ProcessBatch feeds a whole mini-batch.
+func (s *WindowedWeighted) ProcessBatch(b workload.Batch) {
+	for i := 0; i < b.Len(); i++ {
+		s.Process(b.At(i))
+	}
+}
+
+// Sample returns a weighted sample without replacement of (up to) k items
+// from the current window: the k smallest keys across the live chunks.
+func (s *WindowedWeighted) Sample() []workload.Item {
+	type kv struct {
+		key float64
+		it  workload.Item
+	}
+	var all []kv
+	for i := range s.ring {
+		c := &s.ring[i]
+		if !c.used {
+			continue
+		}
+		for j, key := range c.h.keys {
+			all = append(all, kv{key: key, it: c.h.items[j]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	out := make([]workload.Item, len(all))
+	for i, e := range all {
+		out[i] = e.it
+	}
+	return out
+}
+
+// WindowSpan returns the number of recent items the current sample covers.
+func (s *WindowedWeighted) WindowSpan() int64 {
+	live := int64(0)
+	for i := range s.ring {
+		if s.ring[i].used {
+			live++
+		}
+	}
+	if live == 0 {
+		return 0
+	}
+	return (live-1)*int64(s.chunkLen) + int64(s.inChunk)
+}
+
+// Seen returns the total number of items processed.
+func (s *WindowedWeighted) Seen() int64 { return s.n }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"reservoir/internal/rng"
+	"reservoir/internal/stats"
+	"reservoir/internal/workload"
+)
+
+func TestWindowedBasics(t *testing.T) {
+	s := NewWindowedWeighted(5, 100, 20, rng.NewXoshiro256(1))
+	for i := 0; i < 10; i++ {
+		s.Process(workload.Item{W: 1, ID: uint64(i)})
+	}
+	if got := len(s.Sample()); got != 5 {
+		t.Fatalf("sample size %d, want 5", got)
+	}
+	if s.WindowSpan() != 10 {
+		t.Fatalf("window span %d, want 10", s.WindowSpan())
+	}
+	if s.Seen() != 10 {
+		t.Fatalf("seen %d", s.Seen())
+	}
+}
+
+func TestWindowedEvictsOldItems(t *testing.T) {
+	// After feeding far more than the window, only recent IDs may appear.
+	const k, window, chunk = 8, 100, 10
+	s := NewWindowedWeighted(k, window, chunk, rng.NewXoshiro256(2))
+	const total = 1000
+	for i := 0; i < total; i++ {
+		s.Process(workload.Item{W: 1, ID: uint64(i)})
+	}
+	span := s.WindowSpan()
+	if span < window-chunk+1 || span > window {
+		t.Fatalf("window span %d outside (%d, %d]", span, window-chunk, window)
+	}
+	oldest := uint64(total) - uint64(span)
+	for _, it := range s.Sample() {
+		if it.ID < oldest {
+			t.Fatalf("sample contains expired item %d (oldest allowed %d)", it.ID, oldest)
+		}
+	}
+}
+
+func TestWindowedSampleSizeWithinWindow(t *testing.T) {
+	s := NewWindowedWeighted(10, 40, 10, rng.NewXoshiro256(3))
+	for i := 0; i < 500; i++ {
+		s.Process(workload.Item{W: 2, ID: uint64(i)})
+		want := 10
+		if int(s.WindowSpan()) < 10 {
+			want = int(s.WindowSpan())
+		}
+		if got := len(s.Sample()); got != want {
+			t.Fatalf("after %d items: sample size %d, want %d", i+1, got, want)
+		}
+	}
+}
+
+func TestWindowedMatchesOracleOnWindow(t *testing.T) {
+	// With the stream length aligned to a chunk boundary, the window
+	// covers exactly the last `window` items, and the windowed sample must
+	// be distributed like an oracle sample of those items.
+	const k, window, chunk, total, trials = 6, 60, 10, 120, 3000
+	weights := func(i int) float64 { return float64(i%4) + 0.5 }
+	windowed := make([]float64, total)
+	oracle := make([]float64, total)
+	for tr := 0; tr < trials; tr++ {
+		s := NewWindowedWeighted(k, window, chunk, rng.NewXoshiro256(uint64(tr)*7+1))
+		for i := 0; i < total; i++ {
+			s.Process(workload.Item{W: weights(i), ID: uint64(i)})
+		}
+		for _, it := range s.Sample() {
+			windowed[it.ID]++
+		}
+		o := NewNaiveOracle(k, true, rng2(uint64(tr)*11+3))
+		for i := total - window; i < total; i++ {
+			o.Process(workload.Item{W: weights(i), ID: uint64(i)})
+		}
+		for _, it := range o.Sample() {
+			oracle[it.ID]++
+		}
+	}
+	// Outside the window both must be zero.
+	for i := 0; i < total-window; i++ {
+		if windowed[i] != 0 {
+			t.Fatalf("windowed sampled expired item %d", i)
+		}
+	}
+	stat := 0.0
+	df := 0
+	for i := total - window; i < total; i++ {
+		if windowed[i]+oracle[i] == 0 {
+			continue
+		}
+		d := windowed[i] - oracle[i]
+		stat += d * d / (windowed[i] + oracle[i])
+		df++
+	}
+	p := stats.ChiSquareSurvival(stat, float64(df-1))
+	if p < 1e-4 {
+		t.Errorf("windowed sample deviates from oracle over window: p = %g", p)
+	}
+}
+
+func TestWindowedValidation(t *testing.T) {
+	for _, args := range [][3]int{{0, 10, 5}, {1, 10, 3}, {1, 5, 10}, {1, 0, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("args %v: expected panic", args)
+				}
+			}()
+			NewWindowedWeighted(args[0], args[1], args[2], rng.NewXoshiro256(1))
+		}()
+	}
+}

@@ -1,0 +1,70 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestScanCostCrossover(t *testing.T) {
+	m := Default()
+	hot := m.ScanPerItemNS(m.CacheItems/2, false)
+	cold := m.ScanPerItemNS(4*m.CacheItems, false)
+	if hot != m.ScanHotNS {
+		t.Errorf("hot cost = %v, want %v", hot, m.ScanHotNS)
+	}
+	if cold != m.ScanColdNS {
+		t.Errorf("cold cost = %v, want %v", cold, m.ScanColdNS)
+	}
+	if hot >= cold {
+		t.Error("cache model inverted: hot >= cold")
+	}
+	// Monotone non-decreasing through the crossover region.
+	prev := 0.0
+	for n := m.CacheItems / 2; n <= 3*m.CacheItems; n += m.CacheItems / 8 {
+		c := m.ScanPerItemNS(n, false)
+		if c < prev {
+			t.Fatalf("scan cost not monotone at n=%d: %v < %v", n, c, prev)
+		}
+		prev = c
+	}
+	// Midpoint of the crossover is strictly between hot and cold.
+	mid := m.ScanPerItemNS(m.CacheItems+m.CacheItems/2, false)
+	if !(mid > hot && mid < cold) {
+		t.Errorf("crossover midpoint %v not between %v and %v", mid, hot, cold)
+	}
+}
+
+func TestBlockedSkipCheaper(t *testing.T) {
+	m := Default()
+	for _, n := range []int{100, m.CacheItems, 10 * m.CacheItems} {
+		plain := m.ScanPerItemNS(n, false)
+		blocked := m.ScanPerItemNS(n, true)
+		if blocked >= plain {
+			t.Errorf("blocked skip not cheaper at n=%d: %v >= %v", n, blocked, plain)
+		}
+		if math.Abs(blocked-plain*m.BlockedSkipFactor) > 1e-12 {
+			t.Errorf("blocked factor wrong at n=%d", n)
+		}
+	}
+}
+
+func TestTreeOpLogarithmic(t *testing.T) {
+	m := Default()
+	if m.TreeOpNS(0) <= 0 {
+		t.Error("tree op on empty tree should still cost something")
+	}
+	c1, c2 := m.TreeOpNS(1000), m.TreeOpNS(1000000)
+	if ratio := c2 / c1; ratio > 2.5 || ratio < 1.5 {
+		t.Errorf("tree op cost scaling looks non-logarithmic: %v vs %v", c1, c2)
+	}
+}
+
+func TestLinearCharges(t *testing.T) {
+	m := Default()
+	if got := m.QuickselectCostNS(1000); got != 1000*m.QuickselectNS {
+		t.Errorf("quickselect charge = %v", got)
+	}
+	if got := m.PackCostNS(64); got != 64*m.PackNS {
+		t.Errorf("pack charge = %v", got)
+	}
+}

@@ -1,0 +1,477 @@
+// Package distsel implements distributed selection from sorted sequences
+// (paper Sec 3.3): every PE holds a locally sorted sequence (its reservoir
+// B+ tree) and the PEs jointly determine the key with a given global rank.
+//
+// Implemented variants:
+//
+//   - KthSmallest: the universally applicable algorithm of Sec 3.3.3 with
+//     single- or multi-pivot sampling ("ours" / "ours-d" in the paper's
+//     experiments). Pivots are the globally smallest keys of a Bernoulli
+//     sample of the active items (success probability d/k̂, or mirrored at
+//     d/(N−k+1) when the target rank is in the upper half), found with one
+//     all-reduction; one more all-reduction counts items per pivot, then
+//     the algorithm accepts a pivot or recurses on the bracketing interval.
+//   - ApproxSelect (amsSelect, Sec 3.3.2): like KthSmallest but accepts any
+//     pivot whose rank falls in [kLo, kHi], giving expected-constant
+//     recursion depth when kHi−kLo = Ω(k/d).
+//   - RandomDistKth (Sec 3.3.1): for randomly distributed inputs, brackets
+//     the target with two pivots from a √p-sized global sample, then
+//     finishes exactly within the bracket.
+//   - UnsortedKth (Sec 3.3.4): fallback selection over unsorted local
+//     slices with uniformly random pivots.
+//
+// All functions are SPMD-collective: every PE must call them with the same
+// parameters in the same order. Local sequence operations are abstracted by
+// Seq, so callers can wrap them with virtual-time charging.
+package distsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"reservoir/internal/btree"
+	"reservoir/internal/coll"
+	"reservoir/internal/rng"
+)
+
+// Seq is one PE's locally sorted key sequence.
+type Seq interface {
+	// Len returns the number of local keys.
+	Len() int
+	// CountLeq returns the number of local keys <= k.
+	CountLeq(k btree.Key) int
+	// Select returns the local key with the given 1-based rank.
+	Select(rank int) (btree.Key, bool)
+}
+
+// TreeSeq adapts a reservoir B+ tree to Seq.
+type TreeSeq[V any] struct{ T *btree.Tree[V] }
+
+// Len implements Seq.
+func (s TreeSeq[V]) Len() int { return s.T.Len() }
+
+// CountLeq implements Seq.
+func (s TreeSeq[V]) CountLeq(k btree.Key) int { return s.T.CountLeq(k) }
+
+// Select implements Seq.
+func (s TreeSeq[V]) Select(rank int) (btree.Key, bool) {
+	k, _, ok := s.T.Select(rank)
+	return k, ok
+}
+
+// KeySlice adapts an ascending-sorted []btree.Key to Seq.
+type KeySlice []btree.Key
+
+// Len implements Seq.
+func (s KeySlice) Len() int { return len(s) }
+
+// CountLeq implements Seq.
+func (s KeySlice) CountLeq(k btree.Key) int {
+	return sort.Search(len(s), func(i int) bool { return k.Less(s[i]) })
+}
+
+// Select implements Seq.
+func (s KeySlice) Select(rank int) (btree.Key, bool) {
+	if rank < 1 || rank > len(s) {
+		return btree.Key{}, false
+	}
+	return s[rank-1], true
+}
+
+// Options tunes the selection algorithms.
+type Options struct {
+	// Pivots is the number of pivots d used per round (1 = the paper's
+	// "ours", 8 = "ours-8"). Defaults to 1.
+	Pivots int
+	// BaseCase is the active-size cutoff below which the remaining
+	// candidates are gathered at a root PE and selected exactly.
+	// Defaults to 128 (and at least 2*Pivots).
+	BaseCase int
+	// MaxRounds bounds the sampling recursion; when exceeded, the
+	// algorithm falls back to the exact gather base case. Defaults to 60.
+	MaxRounds int
+	// RNG is this PE's private random source (required).
+	RNG rng.Source
+}
+
+func (o Options) withDefaults() Options {
+	if o.Pivots < 1 {
+		o.Pivots = 1
+	}
+	if o.BaseCase < 2*o.Pivots {
+		o.BaseCase = 128
+		if o.BaseCase < 2*o.Pivots {
+			o.BaseCase = 2 * o.Pivots
+		}
+	}
+	if o.MaxRounds < 1 {
+		o.MaxRounds = 60
+	}
+	if o.RNG == nil {
+		panic("distsel: Options.RNG is required")
+	}
+	return o
+}
+
+// Result describes a completed selection.
+type Result struct {
+	// Key is the selected key; its global rank is Rank.
+	Key btree.Key
+	// Rank is the realized global rank (== k for exact selection, within
+	// [kLo, kHi] for approximate selection).
+	Rank int
+	// Rounds is the number of pivot-sampling rounds (the recursion depth
+	// of Sec 6.3's depth study).
+	Rounds int
+	// Gathered reports whether the exact gather base case finished the
+	// selection.
+	Gathered bool
+}
+
+const keyWords = 2 // a Key is one float64 plus one uint64
+
+// KthSmallest selects the key with global rank k (1-based) over the union
+// of all PEs' sequences (paper Sec 3.3.3).
+func KthSmallest(c *coll.Comm, s Seq, k int, opt Options) Result {
+	return selectRange(c, s, k, k, btree.MinKey, btree.MaxKey, 0, opt.withDefaults())
+}
+
+// ApproxSelect selects a key whose global rank lies in [kLo, kHi]
+// (amsSelect, paper Sec 3.3.2). With kHi-kLo = Ω(k/d) the expected number
+// of rounds is constant.
+func ApproxSelect(c *coll.Comm, s Seq, kLo, kHi int, opt Options) Result {
+	if kLo > kHi {
+		panic(fmt.Sprintf("distsel: invalid approximate range [%d, %d]", kLo, kHi))
+	}
+	return selectRange(c, s, kLo, kHi, btree.MinKey, btree.MaxKey, 0, opt.withDefaults())
+}
+
+// selectRange is the shared engine: select a key whose global rank (within
+// the whole sequence) lies in [kLo, kHi], restricted to the key interval
+// (lo, hi], where offset is the global number of keys <= lo.
+func selectRange(c *coll.Comm, s Seq, kLo, kHi int, lo, hi btree.Key, offset int, opt Options) Result {
+	d := opt.Pivots
+	loCount := s.CountLeq(lo)
+	hiCount := s.CountLeq(hi)
+	cnt := hiCount - loCount
+	n := coll.AllReduce(c, cnt, coll.SumInt, 1)
+	rounds := 0
+	for {
+		tLo, tHi := kLo-offset, kHi-offset
+		if tLo < 1 || tLo > n {
+			panic(fmt.Sprintf("distsel: target rank %d outside active range of %d items", tLo, n))
+		}
+		if tHi > n {
+			tHi = n
+		}
+		if n <= opt.BaseCase || rounds >= opt.MaxRounds {
+			r := gatherSelect(c, s, loCount, cnt, tLo)
+			r.Rank += offset
+			r.Rounds = rounds
+			return r
+		}
+		rounds++
+
+		// Sample pivots from the cheaper side (paper Sec 3.3.3): the
+		// globally smallest keys of a Bernoulli(d/tHi) sample, or the
+		// globally largest of a Bernoulli(d/(n-tLo+1)) sample when the
+		// target rank is in the upper half.
+		fromLow := tHi <= n-tLo+1
+		var q float64
+		if fromLow {
+			q = float64(d) / float64(tHi)
+		} else {
+			q = float64(d) / float64(n-tLo+1)
+		}
+		if q > 1 {
+			q = 1
+		}
+		cands := sampleLocal(s, loCount, cnt, q, opt.RNG)
+		if !fromLow {
+			// Keep only the d largest local candidates (ascending order).
+			if len(cands) > d {
+				cands = cands[len(cands)-d:]
+			}
+		} else if len(cands) > d {
+			cands = cands[:d]
+		}
+		var pivots []btree.Key
+		if fromLow {
+			pivots = coll.AllReduce(c, cands, coll.MergeSmallest(d, btree.Key.Less), keyWords*d)
+		} else {
+			pivots = coll.AllReduce(c, cands, mergeLargest(d), keyWords*d)
+		}
+		if len(pivots) == 0 {
+			// No PE sampled anything (can happen when q is tiny and the
+			// active set is spread thin); try again.
+			continue
+		}
+
+		// Count active keys <= each pivot, globally.
+		counts := make([]int, len(pivots))
+		for j, p := range pivots {
+			counts[j] = s.CountLeq(p) - loCount
+		}
+		g := coll.AllReduce(c, counts, coll.SumInts, len(counts))
+
+		// Accept a pivot whose rank lands in the target window.
+		for j := range pivots {
+			if g[j] >= tLo && g[j] <= tHi {
+				return Result{Key: pivots[j], Rank: offset + g[j], Rounds: rounds}
+			}
+		}
+		// Otherwise narrow to the bracketing interval. g is ascending
+		// because pivots are.
+		below, above := -1, -1
+		for j := range pivots {
+			if g[j] < tLo {
+				below = j
+			} else if g[j] > tHi {
+				above = j
+				break
+			}
+		}
+		if below >= 0 {
+			lo = pivots[below]
+			offset += g[below]
+			loCount = s.CountLeq(lo)
+			n -= g[below]
+		}
+		if above >= 0 {
+			hi = pivots[above]
+			hiCount = s.CountLeq(hi)
+			n = g[above]
+			if below >= 0 {
+				n = g[above] - g[below]
+			}
+		}
+		cnt = hiCount - loCount
+	}
+}
+
+// sampleLocal draws a Bernoulli(q) sample of the local active keys (local
+// ranks loCount+1 .. loCount+cnt) using geometric skips in rank space, so
+// the local work is proportional to the number of sampled items times a
+// tree operation. The result is ascending.
+func sampleLocal(s Seq, loCount, cnt int, q float64, src rng.Source) []btree.Key {
+	var out []btree.Key
+	r := 0
+	for {
+		r += 1 + rng.GeometricSkip(src, q)
+		if r > cnt {
+			return out
+		}
+		k, ok := s.Select(loCount + r)
+		if !ok {
+			return out
+		}
+		out = append(out, k)
+	}
+}
+
+// mergeLargest keeps the d largest keys, as an ascending slice.
+func mergeLargest(d int) coll.Op[[]btree.Key] {
+	return func(a, b []btree.Key) []btree.Key {
+		// Merge from the back, keeping d largest.
+		out := make([]btree.Key, 0, d)
+		i, j := len(a)-1, len(b)-1
+		for len(out) < d && (i >= 0 || j >= 0) {
+			switch {
+			case i < 0:
+				out = append(out, b[j])
+				j--
+			case j < 0:
+				out = append(out, a[i])
+				i--
+			case a[i].Less(b[j]):
+				out = append(out, b[j])
+				j--
+			default:
+				out = append(out, a[i])
+				i--
+			}
+		}
+		// out is descending; reverse to ascending.
+		for x, y := 0, len(out)-1; x < y; x, y = x+1, y-1 {
+			out[x], out[y] = out[y], out[x]
+		}
+		return out
+	}
+}
+
+// gatherSelect is the exact base case: gather the active keys at PE 0,
+// select the tLo-th smallest there, and broadcast it. Rank in the returned
+// Result is relative to the active range.
+func gatherSelect(c *coll.Comm, s Seq, loCount, cnt, tLo int) Result {
+	local := make([]btree.Key, 0, cnt)
+	for i := 1; i <= cnt; i++ {
+		k, ok := s.Select(loCount + i)
+		if !ok {
+			break
+		}
+		local = append(local, k)
+	}
+	parts := coll.Gather(c, 0, local, keyWords)
+	var chosen btree.Key
+	if c.Rank() == 0 {
+		var all []btree.Key
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		if tLo > len(all) {
+			panic(fmt.Sprintf("distsel: base case rank %d exceeds %d gathered keys", tLo, len(all)))
+		}
+		chosen = all[tLo-1]
+	}
+	chosen = coll.Broadcast(c, 0, chosen, keyWords)
+	return Result{Key: chosen, Rank: tLo, Gathered: true}
+}
+
+// RandomDistKth selects the globally k-th smallest key assuming the keys
+// are randomly distributed over the PEs (paper Sec 3.3.1): a global sample
+// of ~√p keys brackets the target rank with two pivots with high
+// probability, after which the engine finishes within the (small) bracket.
+func RandomDistKth(c *coll.Comm, s Seq, k int, opt Options) Result {
+	opt = opt.withDefaults()
+	cnt := s.Len()
+	n := coll.AllReduce(c, cnt, coll.SumInt, 1)
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("distsel: rank %d outside 1..%d", k, n))
+	}
+	if n <= opt.BaseCase {
+		return gatherSelect(c, s, 0, cnt, k)
+	}
+	m := int(math.Ceil(math.Sqrt(float64(c.P())))) * 4
+	q := float64(m) / float64(n)
+	cands := sampleLocal(s, 0, cnt, q, opt.RNG)
+	parts := coll.Gather(c, 0, cands, keyWords)
+	// Root picks bracketing pivots around the sample position of rank k.
+	type bracket struct {
+		Lo, Hi       btree.Key
+		UseLo, UseHi bool
+	}
+	var br bracket
+	if c.Rank() == 0 {
+		var all []btree.Key
+		for _, p := range parts {
+			all = append(all, p...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Less(all[j]) })
+		if len(all) > 0 {
+			pos := float64(k) / float64(n) * float64(len(all))
+			delta := 2*math.Sqrt(float64(len(all))) + 1
+			loIdx := int(pos - delta)
+			hiIdx := int(pos + delta)
+			if loIdx >= 1 {
+				br.Lo, br.UseLo = all[loIdx-1], true
+			}
+			if hiIdx <= len(all) {
+				br.Hi, br.UseHi = all[hiIdx-1], true
+			}
+		}
+	}
+	br = coll.Broadcast(c, 0, br, 2*keyWords+1)
+	lo, hi := btree.MinKey, btree.MaxKey
+	if br.UseLo {
+		lo = br.Lo
+	}
+	if br.UseHi {
+		hi = br.Hi
+	}
+	counts := []int{s.CountLeq(lo), s.CountLeq(hi)}
+	g := coll.AllReduce(c, counts, coll.SumInts, 2)
+	if k <= g[0] || k > g[1] {
+		// Bracket missed (low probability): fall back to the full-range
+		// exact engine.
+		r := selectRange(c, s, k, k, btree.MinKey, btree.MaxKey, 0, opt)
+		r.Rounds++ // account for the attempted bracketing round
+		return r
+	}
+	r := selectRange(c, s, k, k, lo, hi, g[0], opt)
+	r.Rounds++
+	return r
+}
+
+// UnsortedKth selects the k-th smallest of the PEs' unsorted local key
+// slices (paper Sec 3.3.4, simplified): uniformly random global pivots,
+// three-way partitioning, recursion on the surviving side. sharedSeed must
+// be identical on all PEs; it drives the common pivot-rank choices.
+// The keys slice is reordered in place.
+func UnsortedKth(c *coll.Comm, keys []btree.Key, k int, sharedSeed uint64, opt Options) Result {
+	opt = opt.withDefaults()
+	active := keys
+	offset := 0
+	rounds := 0
+	for {
+		n := coll.AllReduce(c, len(active), coll.SumInt, 1)
+		t := k - offset
+		if t < 1 || t > n {
+			panic(fmt.Sprintf("distsel: unsorted target %d outside 1..%d", t, n))
+		}
+		if n <= opt.BaseCase || rounds >= opt.MaxRounds {
+			sort.Slice(active, func(i, j int) bool { return active[i].Less(active[j]) })
+			r := gatherSelect(c, KeySlice(active), 0, len(active), t)
+			r.Rank += offset
+			r.Rounds = rounds
+			return r
+		}
+		rounds++
+		// All PEs agree on a uniformly random global rank, then locate its
+		// owner via the gathered per-PE counts.
+		sizes := make([]int, 1)
+		sizes[0] = len(active)
+		table := coll.AllGather(c, sizes, 1)
+		rank := int(rng.Mix64(sharedSeed+uint64(rounds))%uint64(n)) + 1
+		owner, local := 0, rank
+		for pe := 0; pe < c.P(); pe++ {
+			if local <= table[pe][0] {
+				owner = pe
+				break
+			}
+			local -= table[pe][0]
+		}
+		var pivot btree.Key
+		if c.Rank() == owner {
+			pivot = active[local-1]
+		}
+		pivot = coll.Broadcast(c, owner, pivot, keyWords)
+		// Three-way partition.
+		less, equal := 0, 0
+		li, ri := 0, len(active)
+		for i := 0; i < ri; {
+			switch kk := active[i]; {
+			case kk.Less(pivot):
+				active[li], active[i] = active[i], active[li]
+				li++
+				i++
+				less++
+			case kk == pivot:
+				equal++
+				i++
+			default:
+				ri--
+				active[i], active[ri] = active[ri], active[i]
+			}
+		}
+		g := coll.AllReduce(c, []int{less, equal}, coll.SumInts, 2)
+		switch {
+		case t <= g[0]:
+			active = active[:li]
+		case t <= g[0]+g[1]:
+			return Result{Key: pivot, Rank: offset + g[0] + g[1], Rounds: rounds}
+		default:
+			offset += g[0] + g[1]
+			active = active[li:]
+			// Drop the equal-to-pivot band from the active slice.
+			filtered := active[:0]
+			for _, kk := range active {
+				if kk != pivot {
+					filtered = append(filtered, kk)
+				}
+			}
+			active = filtered
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Package quickselect implements the sequential selection used by the
+// centralized gathering baseline (paper Sec 4.5): the root PE selects the k
+// smallest of its gathered candidate items with an expected linear time
+// partition-based algorithm.
+package quickselect
+
+import "reservoir/internal/rng"
+
+// Select partially reorders s so that s[:k] holds the k smallest elements
+// according to less (in unspecified order) and returns the k-th smallest
+// element (the maximum of s[:k]). It panics if k is out of [1, len(s)].
+// Expected time O(len(s)); randomized median-of-three pivoting.
+func Select[T any](s []T, k int, less func(a, b T) bool, src rng.Source) T {
+	if k < 1 || k > len(s) {
+		panic("quickselect: k out of range")
+	}
+	lo, hi := 0, len(s)-1 // invariant: k-th smallest is within s[lo..hi]
+	for hi > lo {
+		if hi-lo < 12 {
+			insertionSort(s[lo:hi+1], less)
+			break
+		}
+		p := medianOfThree(s, lo, hi, less, src)
+		i, j := lo, hi
+		for i <= j {
+			for less(s[i], p) {
+				i++
+			}
+			for less(p, s[j]) {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		// s[lo..j] <= p <= s[i..hi], with possible middle band equal to p.
+		switch {
+		case k-1 <= j:
+			hi = j
+		case k-1 >= i:
+			lo = i
+		default:
+			// The k-th smallest lies in the equal-to-pivot band.
+			return s[k-1]
+		}
+	}
+	// The band s[:k] now holds the k smallest; find their maximum.
+	m := s[k-1]
+	return m
+}
+
+func medianOfThree[T any](s []T, lo, hi int, less func(a, b T) bool, src rng.Source) T {
+	a := s[lo+rng.Intn(src, hi-lo+1)]
+	b := s[lo+rng.Intn(src, hi-lo+1)]
+	c := s[lo+rng.Intn(src, hi-lo+1)]
+	if less(b, a) {
+		a, b = b, a
+	}
+	if less(c, b) {
+		b = c
+		if less(b, a) {
+			a, b = b, a
+		}
+	}
+	_ = a
+	return b
+}
+
+func insertionSort[T any](s []T, less func(a, b T) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package quickselect
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"reservoir/internal/rng"
+)
+
+func intLess(a, b int) bool { return a < b }
+
+func TestSelectAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	src := rng.NewXoshiro256(2)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(500)
+		s := make([]int, n)
+		for i := range s {
+			s[i] = r.Intn(100) // duplicates likely
+		}
+		sorted := append([]int(nil), s...)
+		sort.Ints(sorted)
+		k := 1 + r.Intn(n)
+		got := Select(s, k, intLess, src)
+		if got != sorted[k-1] {
+			t.Fatalf("trial %d: Select(%d of %d) = %d, want %d", trial, k, n, got, sorted[k-1])
+		}
+		// The prefix must hold exactly the k smallest (as a multiset).
+		prefix := append([]int(nil), s[:k]...)
+		sort.Ints(prefix)
+		for i := range prefix {
+			if prefix[i] != sorted[i] {
+				t.Fatalf("trial %d: prefix not the k smallest at %d: %v vs %v", trial, i, prefix[i], sorted[i])
+			}
+		}
+	}
+}
+
+func TestSelectExtremes(t *testing.T) {
+	src := rng.NewXoshiro256(3)
+	s := []int{5, 3, 9, 1, 7}
+	if got := Select(append([]int(nil), s...), 1, intLess, src); got != 1 {
+		t.Errorf("min = %d", got)
+	}
+	if got := Select(append([]int(nil), s...), 5, intLess, src); got != 9 {
+		t.Errorf("max = %d", got)
+	}
+	if got := Select([]int{42}, 1, intLess, src); got != 42 {
+		t.Errorf("singleton = %d", got)
+	}
+}
+
+func TestSelectAllEqual(t *testing.T) {
+	src := rng.NewXoshiro256(4)
+	s := make([]int, 1000)
+	for i := range s {
+		s[i] = 7
+	}
+	if got := Select(s, 500, intLess, src); got != 7 {
+		t.Errorf("all-equal select = %d", got)
+	}
+}
+
+func TestSelectPanicsOutOfRange(t *testing.T) {
+	src := rng.NewXoshiro256(5)
+	for _, k := range []int{0, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("k=%d: expected panic", k)
+				}
+			}()
+			Select([]int{1, 2, 3}, k, intLess, src)
+		}()
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	src := rng.NewXoshiro256(2)
+	s := make([]float64, 100000)
+	buf := make([]float64, len(s))
+	for i := range s {
+		s[i] = r.Float64()
+	}
+	less := func(a, b float64) bool { return a < b }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, s)
+		Select(buf, len(buf)/2, less, src)
+	}
+}

@@ -1,0 +1,94 @@
+package rng
+
+// MT19937 implements the 64-bit Mersenne Twister (MT19937-64) of Matsumoto
+// and Nishimura, the generator family used (via Intel MKL) by the paper's
+// C++ implementation. Constants and the initialization routines follow the
+// reference implementation mt19937-64.c (2004/9/29 version).
+type MT19937 struct {
+	mt  [nn]uint64
+	mti int
+}
+
+const (
+	nn        = 312
+	mm        = 156
+	matrixA   = 0xB5026F5AA96619E9
+	upperMask = 0xFFFFFFFF80000000
+	lowerMask = 0x7FFFFFFF
+)
+
+// NewMT19937 returns an MT19937-64 engine seeded with seed, following
+// init_genrand64 of the reference implementation.
+func NewMT19937(seed uint64) *MT19937 {
+	m := &MT19937{}
+	m.Seed(seed)
+	return m
+}
+
+// Seed re-initializes the state from a single 64-bit seed.
+func (m *MT19937) Seed(seed uint64) {
+	m.mt[0] = seed
+	for i := 1; i < nn; i++ {
+		m.mt[i] = 6364136223846793005*(m.mt[i-1]^(m.mt[i-1]>>62)) + uint64(i)
+	}
+	m.mti = nn
+}
+
+// SeedByArray re-initializes the state from a key array, following
+// init_by_array64 of the reference implementation.
+func (m *MT19937) SeedByArray(key []uint64) {
+	m.Seed(19650218)
+	i, j := 1, 0
+	k := len(key)
+	if nn > k {
+		k = nn
+	}
+	for ; k > 0; k-- {
+		m.mt[i] = (m.mt[i] ^ ((m.mt[i-1] ^ (m.mt[i-1] >> 62)) * 3935559000370003845)) + key[j] + uint64(j)
+		i++
+		j++
+		if i >= nn {
+			m.mt[0] = m.mt[nn-1]
+			i = 1
+		}
+		if j >= len(key) {
+			j = 0
+		}
+	}
+	for k = nn - 1; k > 0; k-- {
+		m.mt[i] = (m.mt[i] ^ ((m.mt[i-1] ^ (m.mt[i-1] >> 62)) * 2862933555777941757)) - uint64(i)
+		i++
+		if i >= nn {
+			m.mt[0] = m.mt[nn-1]
+			i = 1
+		}
+	}
+	m.mt[0] = 1 << 63
+	m.mti = nn
+}
+
+// Uint64 returns the next 64-bit word of the sequence.
+func (m *MT19937) Uint64() uint64 {
+	if m.mti >= nn {
+		// Generate the next block of nn words.
+		var x uint64
+		for i := 0; i < nn-mm; i++ {
+			x = (m.mt[i] & upperMask) | (m.mt[i+1] & lowerMask)
+			m.mt[i] = m.mt[i+mm] ^ (x >> 1) ^ ((x & 1) * matrixA)
+		}
+		for i := nn - mm; i < nn-1; i++ {
+			x = (m.mt[i] & upperMask) | (m.mt[i+1] & lowerMask)
+			m.mt[i] = m.mt[i+mm-nn] ^ (x >> 1) ^ ((x & 1) * matrixA)
+		}
+		x = (m.mt[nn-1] & upperMask) | (m.mt[0] & lowerMask)
+		m.mt[nn-1] = m.mt[mm-1] ^ (x >> 1) ^ ((x & 1) * matrixA)
+		m.mti = 0
+	}
+	x := m.mt[m.mti]
+	m.mti++
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}

@@ -1,0 +1,399 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// engines returns one instance of every Source implementation, freshly
+// seeded, keyed by name.
+func engines(seed uint64) map[string]Source {
+	return map[string]Source{
+		"splitmix64": NewSplitMix64(seed),
+		"xoshiro256": NewXoshiro256(seed),
+		"mt19937-64": NewMT19937(seed),
+		"counter":    &counterSource{c: Counter{Seed: seed}},
+	}
+}
+
+// counterSource adapts Counter to the Source interface for the shared
+// statistical tests.
+type counterSource struct {
+	c Counter
+	i uint64
+}
+
+func (s *counterSource) Uint64() uint64 {
+	v := s.c.At(s.i)
+	s.i++
+	return v
+}
+
+func TestMT19937ReferenceVectors(t *testing.T) {
+	// First outputs of the reference mt19937-64.c seeded with
+	// init_by_array64({0x12345, 0x23456, 0x34567, 0x45678}); these are the
+	// first numbers of the canonical mt19937-64.out file.
+	m := NewMT19937(0)
+	m.SeedByArray([]uint64{0x12345, 0x23456, 0x34567, 0x45678})
+	want := []uint64{
+		7266447313870364031,
+		4946485549665804864,
+		16945909448695747420,
+		16394063075524226720,
+		4873882236456199058,
+	}
+	for i, w := range want {
+		if got := m.Uint64(); got != w {
+			t.Fatalf("MT19937-64 output %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestMT19937SingleSeedDeterminism(t *testing.T) {
+	a, b := NewMT19937(42), NewMT19937(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewMT19937(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if NewMT19937(42).mt[i%nn] == c.mt[i%nn] {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("different seeds produced %d/1000 identical state words", same)
+	}
+}
+
+func TestXoshiroJumpDisjoint(t *testing.T) {
+	// After a Jump, the stream must not overlap with the original prefix.
+	a := NewXoshiro256(7)
+	prefix := make(map[uint64]bool, 4096)
+	for i := 0; i < 4096; i++ {
+		prefix[a.Uint64()] = true
+	}
+	b := NewXoshiro256(7)
+	b.Jump()
+	for i := 0; i < 4096; i++ {
+		if prefix[b.Uint64()] {
+			t.Fatalf("jumped stream collided with original prefix at step %d", i)
+		}
+	}
+}
+
+func TestU01Range(t *testing.T) {
+	for name, src := range engines(1) {
+		for i := 0; i < 100000; i++ {
+			v := U01(src)
+			if !(v > 0 && v <= 1) {
+				t.Fatalf("%s: U01 out of (0,1]: %v", name, v)
+			}
+			w := U01CO(src)
+			if !(w >= 0 && w < 1) {
+				t.Fatalf("%s: U01CO out of [0,1): %v", name, w)
+			}
+		}
+	}
+}
+
+func TestU01Moments(t *testing.T) {
+	const n = 200000
+	for name, src := range engines(99) {
+		var sum, sumsq float64
+		for i := 0; i < n; i++ {
+			v := U01(src)
+			sum += v
+			sumsq += v * v
+		}
+		mean := sum / n
+		variance := sumsq/n - mean*mean
+		if math.Abs(mean-0.5) > 0.005 {
+			t.Errorf("%s: uniform mean = %v, want 0.5", name, mean)
+		}
+		if math.Abs(variance-1.0/12) > 0.005 {
+			t.Errorf("%s: uniform variance = %v, want 1/12", name, variance)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := NewXoshiro256(3)
+	for i := 0; i < 100000; i++ {
+		v := Uniform(src, 2, 5)
+		if !(v > 2 && v <= 5) {
+			t.Fatalf("Uniform(2,5) out of range: %v", v)
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	const n = 300000
+	for _, rate := range []float64{0.25, 1, 4, 1000} {
+		src := NewXoshiro256(5)
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := Exponential(src, rate)
+			if v < 0 {
+				t.Fatalf("negative exponential variate %v", v)
+			}
+			sum += v
+		}
+		mean := sum / n
+		want := 1 / rate
+		if math.Abs(mean-want)/want > 0.02 {
+			t.Errorf("Exponential(rate=%v) mean = %v, want %v", rate, mean, want)
+		}
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for rate <= 0")
+		}
+	}()
+	Exponential(NewXoshiro256(1), 0)
+}
+
+func TestGeometricSkipMoments(t *testing.T) {
+	const n = 200000
+	for _, p := range []float64{0.9, 0.5, 0.1, 0.01} {
+		src := NewXoshiro256(11)
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(GeometricSkip(src, p))
+		}
+		mean := sum / n
+		want := (1 - p) / p // mean of geometric counting failures
+		tol := 0.03 * (want + 1)
+		if math.Abs(mean-want) > tol {
+			t.Errorf("GeometricSkip(p=%v) mean = %v, want %v", p, mean, want)
+		}
+	}
+}
+
+func TestGeometricSkipEdgeCases(t *testing.T) {
+	src := NewXoshiro256(1)
+	if got := GeometricSkip(src, 1); got != 0 {
+		t.Errorf("GeometricSkip(p=1) = %d, want 0", got)
+	}
+	if got := GeometricSkip(src, 1.5); got != 0 {
+		t.Errorf("GeometricSkip(p=1.5) = %d, want 0", got)
+	}
+	// Extremely small p must not overflow int.
+	v := GeometricSkip(src, 1e-300)
+	if v < 0 {
+		t.Errorf("GeometricSkip(tiny p) negative: %d", v)
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	const n = 200000
+	for _, p := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		src := NewXoshiro256(17)
+		hits := 0
+		for i := 0; i < n; i++ {
+			if Bernoulli(src, p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-p) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v", p, got)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	src := NewXoshiro256(23)
+	counts := make([]int, 7)
+	const n = 140000
+	for i := 0; i < n; i++ {
+		v := Intn(src, 7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/7.0) > 0.05*n/7.0 {
+			t.Errorf("Intn(7) bucket %d count %d deviates from uniform", i, c)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	src := NewXoshiro256(29)
+	const n = 300000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := Normal(src, 10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want 10", mean)
+	}
+	if math.Abs(variance-9) > 0.2 {
+		t.Errorf("Normal variance = %v, want 9", variance)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	src := NewXoshiro256(31)
+	const n = 200000
+	over2 := 0
+	for i := 0; i < n; i++ {
+		v := Pareto(src, 2)
+		if v < 1 {
+			t.Fatalf("Pareto below scale: %v", v)
+		}
+		if v > 2 {
+			over2++
+		}
+	}
+	// P[X > 2] = 2^-2 = 0.25 for shape 2.
+	got := float64(over2) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Errorf("Pareto(2) tail P[X>2] = %v, want 0.25", got)
+	}
+}
+
+func TestCounterIsStateless(t *testing.T) {
+	c := Counter{Seed: 123}
+	if err := quick.Check(func(i uint64) bool {
+		return c.At(i) == c.At(i) && c.U01At(i) > 0 && c.U01At(i) <= 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+	// Different seeds must give different streams almost everywhere.
+	d := Counter{Seed: 124}
+	same := 0
+	for i := uint64(0); i < 1000; i++ {
+		if c.At(i) == d.At(i) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("counter streams for adjacent seeds agree at %d/1000 indices", same)
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot-check injectivity on a sample; Mix64 is a documented bijection.
+	seen := make(map[uint64]uint64, 100000)
+	for i := uint64(0); i < 100000; i++ {
+		v := Mix64(i)
+		if j, dup := seen[v]; dup {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d)", i, j)
+		}
+		seen[v] = i
+	}
+}
+
+// Kolmogorov-Smirnov test of U01 uniformity for every engine.
+func TestU01KolmogorovSmirnov(t *testing.T) {
+	const n = 20000
+	for name, src := range engines(77) {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = U01(src)
+		}
+		sortFloats(xs)
+		var d float64
+		for i, x := range xs {
+			lo := x - float64(i)/n
+			hi := float64(i+1)/n - x
+			if lo > d {
+				d = lo
+			}
+			if hi > d {
+				d = hi
+			}
+		}
+		// Critical value at alpha ~ 1e-4: ~1.95/sqrt(n).
+		if limit := 1.95 / math.Sqrt(n); d > limit {
+			t.Errorf("%s: KS statistic %v exceeds %v", name, d, limit)
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	// Insertion-free: simple quicksort to avoid importing sort in tests of
+	// the bottom-most package.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for hi-lo > 12 {
+			p := xs[(lo+hi)/2]
+			i, j := lo, hi-1
+			for i <= j {
+				for xs[i] < p {
+					i++
+				}
+				for xs[j] > p {
+					j--
+				}
+				if i <= j {
+					xs[i], xs[j] = xs[j], xs[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j+1)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j + 1
+			}
+		}
+		for i := lo + 1; i < hi; i++ {
+			for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+	}
+	qs(0, len(xs))
+}
+
+func BenchmarkXoshiro256(b *testing.B) {
+	src := NewXoshiro256(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += src.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkMT19937(b *testing.B) {
+	src := NewMT19937(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += src.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkExponential(b *testing.B) {
+	src := NewXoshiro256(1)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += Exponential(src, 2)
+	}
+	_ = acc
+}
+
+func BenchmarkCounterAt(b *testing.B) {
+	c := Counter{Seed: 9}
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += c.At(uint64(i))
+	}
+	_ = acc
+}

@@ -1,0 +1,30 @@
+package rng
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MarshalBinary implements encoding.BinaryMarshaler: the 4-word xoshiro
+// state, little endian.
+func (x *Xoshiro256) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 32)
+	for i, s := range x.s {
+		binary.LittleEndian.PutUint64(out[i*8:], s)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (x *Xoshiro256) UnmarshalBinary(data []byte) error {
+	if len(data) != 32 {
+		return fmt.Errorf("rng: xoshiro256 state must be 32 bytes, got %d", len(data))
+	}
+	for i := range x.s {
+		x.s[i] = binary.LittleEndian.Uint64(data[i*8:])
+	}
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		return fmt.Errorf("rng: all-zero xoshiro256 state")
+	}
+	return nil
+}

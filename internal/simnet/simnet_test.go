@@ -1,0 +1,199 @@
+package simnet
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPairwiseExchange(t *testing.T) {
+	c := NewCluster(2, CostParams{AlphaNS: 100, BetaNS: 2})
+	c.Parallel(func(pe *PE) {
+		other := 1 - pe.ID()
+		pe.Send(other, 0, pe.ID()*10, 5)
+		got := pe.Recv(other, 0).(int)
+		if got != other*10 {
+			t.Errorf("PE %d received %d, want %d", pe.ID(), got, other*10)
+		}
+	})
+	if n := c.PendingMessages(); n != 0 {
+		t.Errorf("%d messages leaked", n)
+	}
+}
+
+func TestClockAdvancesOnSendAndWork(t *testing.T) {
+	c := NewCluster(2, CostParams{AlphaNS: 100, BetaNS: 2})
+	c.Parallel(func(pe *PE) {
+		if pe.ID() == 0 {
+			pe.Work(50)
+			pe.Send(1, 0, "x", 10) // cost 100 + 2*10 = 120
+			if got := pe.Clock(); got != 170 {
+				t.Errorf("sender clock = %v, want 170", got)
+			}
+		} else {
+			pe.Recv(0, 0)
+			// Receiver was idle at clock 0; message arrives at sender's
+			// post-send time 170.
+			if got := pe.Clock(); got != 170 {
+				t.Errorf("receiver clock = %v, want 170", got)
+			}
+		}
+	})
+}
+
+func TestBusyReceiverKeepsOwnClock(t *testing.T) {
+	c := NewCluster(2, CostParams{AlphaNS: 10, BetaNS: 1})
+	c.Parallel(func(pe *PE) {
+		if pe.ID() == 0 {
+			pe.Send(1, 0, nil, 1) // arrives at 11
+		} else {
+			pe.Work(1000)
+			pe.Recv(0, 0)
+			if got := pe.Clock(); got != 1000 {
+				t.Errorf("busy receiver clock = %v, want 1000", got)
+			}
+		}
+	})
+}
+
+func TestRecvMatchesSourceAndTag(t *testing.T) {
+	c := NewCluster(3, DefaultCost())
+	c.Parallel(func(pe *PE) {
+		switch pe.ID() {
+		case 0:
+			// Send two messages with different tags, out of the order the
+			// receiver asks for them.
+			pe.Send(2, 7, "tag7", 1)
+			pe.Send(2, 3, "tag3", 1)
+		case 1:
+			pe.Send(2, 3, "from1", 1)
+		case 2:
+			if got := pe.Recv(0, 3).(string); got != "tag3" {
+				t.Errorf("Recv(0,3) = %q", got)
+			}
+			if got := pe.Recv(1, 3).(string); got != "from1" {
+				t.Errorf("Recv(1,3) = %q", got)
+			}
+			if got := pe.Recv(0, 7).(string); got != "tag7" {
+				t.Errorf("Recv(0,7) = %q", got)
+			}
+		}
+	})
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	c := NewCluster(2, DefaultCost())
+	c.Parallel(func(pe *PE) {
+		if pe.ID() == 0 {
+			for i := 0; i < 100; i++ {
+				pe.Send(1, 0, i, 1)
+			}
+		} else {
+			for i := 0; i < 100; i++ {
+				if got := pe.Recv(0, 0).(int); got != i {
+					t.Fatalf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := NewCluster(4, DefaultCost())
+	c.Parallel(func(pe *PE) {
+		if pe.ID() != 0 {
+			pe.Send(0, 0, pe.ID(), 8)
+		} else {
+			for i := 1; i < 4; i++ {
+				pe.Recv(i, 0)
+			}
+		}
+	})
+	s := c.Stats()
+	if s.Messages != 3 || s.Words != 24 {
+		t.Errorf("stats = %+v, want 3 messages / 24 words", s)
+	}
+	if c.PE(1).SentMessages != 1 || c.PE(1).SentWords != 8 {
+		t.Errorf("per-PE stats wrong: %d msgs %d words", c.PE(1).SentMessages, c.PE(1).SentWords)
+	}
+}
+
+func TestResetClocks(t *testing.T) {
+	c := NewCluster(2, DefaultCost())
+	c.Parallel(func(pe *PE) { pe.Work(100) })
+	if c.MaxClock() != 100 {
+		t.Fatalf("MaxClock = %v", c.MaxClock())
+	}
+	c.ResetClocks()
+	if c.MaxClock() != 0 {
+		t.Fatalf("MaxClock after reset = %v", c.MaxClock())
+	}
+}
+
+func TestMinWordsCharge(t *testing.T) {
+	c := NewCluster(2, CostParams{AlphaNS: 10, BetaNS: 1})
+	c.Parallel(func(pe *PE) {
+		if pe.ID() == 0 {
+			pe.Send(1, 0, nil, 0) // charged as 1 word
+			if pe.Clock() != 11 {
+				t.Errorf("clock = %v, want 11", pe.Clock())
+			}
+		} else {
+			pe.Recv(0, 0)
+		}
+	})
+}
+
+func TestPanicPropagation(t *testing.T) {
+	c := NewCluster(3, DefaultCost())
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate from Parallel")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "boom") && !strings.Contains(s, "panicked") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	c.Parallel(func(pe *PE) {
+		if pe.ID() == 1 {
+			panic("boom")
+		}
+		// Other PEs block on a receive that will never be satisfied; the
+		// poison mechanism must unblock them.
+		pe.Recv(1, 99)
+	})
+}
+
+func TestClusterUsableAfterPanic(t *testing.T) {
+	c := NewCluster(2, DefaultCost())
+	func() {
+		defer func() { recover() }()
+		c.Parallel(func(pe *PE) {
+			if pe.ID() == 0 {
+				panic("first")
+			}
+			pe.Recv(0, 0)
+		})
+	}()
+	// The cluster must be reusable afterwards.
+	var ran atomic.Int32
+	c.Parallel(func(pe *PE) {
+		ran.Add(1)
+		other := 1 - pe.ID()
+		pe.Send(other, 1, pe.ID(), 1)
+		pe.Recv(other, 1)
+	})
+	if ran.Load() != 2 {
+		t.Fatal("cluster not reusable after panic")
+	}
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for p < 1")
+		}
+	}()
+	NewCluster(0, DefaultCost())
+}

@@ -1,0 +1,217 @@
+// Package stats provides the statistical machinery used to verify the
+// samplers: goodness-of-fit tests (chi-square, Kolmogorov–Smirnov), running
+// moments, and the harmonic numbers that appear in the insertion-count
+// analysis of the paper (Lemma 2 / Theorem 3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance online (Welford's algorithm).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Mean returns the mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Harmonic returns the n-th harmonic number H_n. Exact summation is used up
+// to 10^6; beyond that the asymptotic expansion ln n + γ + 1/(2n) - 1/(12n²)
+// is accurate to well below 1e-12.
+func Harmonic(n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n <= 1_000_000 {
+		s := 0.0
+		for i := 1; i <= n; i++ {
+			s += 1 / float64(i)
+		}
+		return s
+	}
+	const gamma = 0.5772156649015328606
+	fn := float64(n)
+	return math.Log(fn) + gamma + 1/(2*fn) - 1/(12*fn*fn)
+}
+
+// --- chi-square -----------------------------------------------------------
+
+// ChiSquare returns the chi-square statistic and its p-value for observed
+// counts against expected counts. Both slices must have the same length and
+// expected counts must be positive; degrees of freedom is len-1-ddof.
+func ChiSquare(observed []float64, expected []float64, ddof int) (stat, p float64, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: observed and expected lengths differ (%d vs %d)", len(observed), len(expected))
+	}
+	df := len(observed) - 1 - ddof
+	if df < 1 {
+		return 0, 0, fmt.Errorf("stats: non-positive degrees of freedom %d", df)
+	}
+	for i := range observed {
+		if expected[i] <= 0 {
+			return 0, 0, fmt.Errorf("stats: expected count %d is not positive", i)
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+	}
+	return stat, ChiSquareSurvival(stat, float64(df)), nil
+}
+
+// ChiSquareSurvival returns P[X >= stat] for a chi-square distribution with
+// df degrees of freedom, i.e. the upper regularized incomplete gamma
+// function Q(df/2, stat/2).
+func ChiSquareSurvival(stat, df float64) float64 {
+	if stat <= 0 {
+		return 1
+	}
+	return gammaQ(df/2, stat/2)
+}
+
+// gammaQ computes the upper regularized incomplete gamma function Q(a, x)
+// via the series (x < a+1) or continued fraction (x >= a+1) expansions
+// (Numerical Recipes, gammp/gammq).
+func gammaQ(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 1
+	}
+	if x < a+1 {
+		return 1 - gammaPSeries(a, x)
+	}
+	return gammaQContinuedFraction(a, x)
+}
+
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for i := 0; i < 500; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*1e-15 {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+func gammaQContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// --- Kolmogorov–Smirnov ----------------------------------------------------
+
+// KolmogorovSmirnov returns the KS statistic D and the asymptotic p-value
+// for the hypothesis that sample was drawn from the continuous distribution
+// with the given CDF. The sample is sorted in place.
+func KolmogorovSmirnov(sample []float64, cdf func(float64) float64) (d, p float64) {
+	n := len(sample)
+	if n == 0 {
+		return 0, 1
+	}
+	sort.Float64s(sample)
+	fn := float64(n)
+	for i, x := range sample {
+		f := cdf(x)
+		if lo := f - float64(i)/fn; lo > d {
+			d = lo
+		}
+		if hi := float64(i+1)/fn - f; hi > d {
+			d = hi
+		}
+	}
+	return d, ksPValue(d, n)
+}
+
+// ksPValue evaluates the asymptotic Kolmogorov distribution survival
+// function with the Stephens small-sample correction.
+func ksPValue(d float64, n int) float64 {
+	sq := math.Sqrt(float64(n))
+	lambda := (sq + 0.12 + 0.11/sq) * d
+	// P = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²)
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

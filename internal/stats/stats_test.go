@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"reservoir/internal/rng"
+)
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		w.Add(x)
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of the set is 32/7.
+	if math.Abs(w.Variance()-32.0/7) > 1e-12 {
+		t.Errorf("variance = %v, want %v", w.Variance(), 32.0/7)
+	}
+	if math.Abs(w.StdDev()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("stddev = %v", w.StdDev())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	if Harmonic(0) != 0 {
+		t.Error("H_0 != 0")
+	}
+	if Harmonic(1) != 1 {
+		t.Error("H_1 != 1")
+	}
+	if math.Abs(Harmonic(4)-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Errorf("H_4 = %v", Harmonic(4))
+	}
+	// Asymptotic branch must agree with summation at the switchover scale.
+	n := 1_000_000
+	exact := Harmonic(n)
+	const gamma = 0.5772156649015328606
+	asym := math.Log(float64(n)) + gamma + 1/(2*float64(n)) - 1/(12*float64(n)*float64(n))
+	if math.Abs(exact-asym) > 1e-10 {
+		t.Errorf("harmonic branches disagree at n=%d: %v vs %v", n, exact, asym)
+	}
+}
+
+func TestChiSquareExactValues(t *testing.T) {
+	// Known chi-square survival values: P[X >= x] for df degrees of freedom.
+	cases := []struct {
+		stat, df, want float64
+	}{
+		{0, 1, 1},
+		{3.841, 1, 0.05}, // 95th percentile of chi2(1)
+		{5.991, 2, 0.05}, // 95th percentile of chi2(2)
+		{18.307, 10, 0.05},
+		{2.706, 1, 0.10},
+	}
+	for _, c := range cases {
+		got := ChiSquareSurvival(c.stat, c.df)
+		if math.Abs(got-c.want) > 2e-4 {
+			t.Errorf("ChiSquareSurvival(%v, %v) = %v, want ~%v", c.stat, c.df, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareGoodnessOfFit(t *testing.T) {
+	// A fair die simulated with a good RNG must not be rejected.
+	src := rng.NewXoshiro256(42)
+	obs := make([]float64, 6)
+	const n = 60000
+	for i := 0; i < n; i++ {
+		obs[rng.Intn(src, 6)]++
+	}
+	exp := make([]float64, 6)
+	for i := range exp {
+		exp[i] = n / 6.0
+	}
+	_, p, err := ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Errorf("fair die rejected: p = %v", p)
+	}
+	// A heavily loaded die must be rejected.
+	obs[0] += 2000
+	obs[1] -= 2000
+	_, p, err = ChiSquare(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p > 1e-6 {
+		t.Errorf("loaded die not rejected: p = %v", p)
+	}
+}
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, _, err := ChiSquare([]float64{1}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch not reported")
+	}
+	if _, _, err := ChiSquare([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("df=0 not reported")
+	}
+	if _, _, err := ChiSquare([]float64{1, 2}, []float64{1, 0}, 0); err == nil {
+		t.Error("non-positive expected count not reported")
+	}
+}
+
+func TestKolmogorovSmirnovUniform(t *testing.T) {
+	src := rng.NewXoshiro256(7)
+	sample := make([]float64, 5000)
+	for i := range sample {
+		sample[i] = rng.U01CO(src)
+	}
+	d, p := KolmogorovSmirnov(sample, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if p < 1e-4 {
+		t.Errorf("uniform sample rejected: D=%v p=%v", d, p)
+	}
+	// Exponential sample against uniform CDF must be rejected hard.
+	for i := range sample {
+		sample[i] = math.Min(rng.Exponential(src, 3), 1)
+	}
+	_, p = KolmogorovSmirnov(sample, func(x float64) float64 { return math.Max(0, math.Min(1, x)) })
+	if p > 1e-6 {
+		t.Errorf("exponential sample not rejected against uniform: p = %v", p)
+	}
+}
+
+func TestKolmogorovSmirnovExponential(t *testing.T) {
+	src := rng.NewXoshiro256(8)
+	sample := make([]float64, 5000)
+	rate := 2.5
+	for i := range sample {
+		sample[i] = rng.Exponential(src, rate)
+	}
+	_, p := KolmogorovSmirnov(sample, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-rate*x)
+	})
+	if p < 1e-4 {
+		t.Errorf("exponential sample rejected against own CDF: p = %v", p)
+	}
+}
+
+func TestKSEmptySample(t *testing.T) {
+	d, p := KolmogorovSmirnov(nil, func(float64) float64 { return 0 })
+	if d != 0 || p != 1 {
+		t.Errorf("empty sample: d=%v p=%v", d, p)
+	}
+}

@@ -1,0 +1,119 @@
+package reservoir
+
+import (
+	"sort"
+	"testing"
+)
+
+func sampleIDs(items []Item) []uint64 {
+	ids := make([]uint64, len(items))
+	for i, it := range items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestClusterSnapshotResumesIdentically(t *testing.T) {
+	cfg := Config{K: 80, Weighted: true, Strategy: SelMultiPivot, Pivots: 4, Seed: 21}
+	cl, err := NewCluster(6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := UniformSource{Seed: 5, BatchLen: 700, Lo: 0, Hi: 100}
+	for round := 0; round < 3; round++ {
+		cl.ProcessRound(src)
+	}
+	blob, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := RestoreCluster(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Round() != cl.Round() || restored.P() != cl.P() {
+		t.Fatalf("restored round/p = %d/%d, want %d/%d",
+			restored.Round(), restored.P(), cl.Round(), cl.P())
+	}
+	th1, _ := cl.Threshold()
+	th2, _ := restored.Threshold()
+	if th1 != th2 {
+		t.Fatalf("thresholds differ: %v vs %v", th1, th2)
+	}
+
+	// Continuing both clusters with the same input must give identical
+	// samples (the PRNG state is part of the snapshot).
+	for round := 3; round < 6; round++ {
+		cl.ProcessRound(src)
+		restored.ProcessRound(src)
+	}
+	a := sampleIDs(cl.Sample())
+	b := sampleIDs(restored.Sample())
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("samples diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSnapshotBeforeThreshold(t *testing.T) {
+	// Snapshot during the fill phase (no threshold yet).
+	cfg := Config{K: 1000, Weighted: true, Seed: 9}
+	cl, err := NewCluster(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := UniformSource{Seed: 2, BatchLen: 50, Lo: 0, Hi: 10}
+	cl.ProcessRound(src)
+	blob, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCluster(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.SampleSize() != cl.SampleSize() {
+		t.Fatalf("sizes differ: %d vs %d", restored.SampleSize(), cl.SampleSize())
+	}
+	if _, have := restored.Threshold(); have {
+		t.Fatal("restored cluster has a threshold it should not have")
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cfg := Config{K: 10, Weighted: true, Seed: 1}
+	gcl, err := NewCluster(2, cfg, WithAlgorithm(CentralizedGather))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gcl.Snapshot(); err == nil {
+		t.Error("gather cluster snapshot should fail")
+	}
+	if _, err := RestoreCluster(cfg, nil); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	cl, err := NewCluster(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.ProcessRound(UniformSource{Seed: 3, BatchLen: 100, Lo: 0, Hi: 1})
+	blob, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreCluster(cfg, blob[:len(blob)-4]); err == nil {
+		t.Error("truncated snapshot accepted")
+	}
+	if _, err := RestoreCluster(cfg, append(blob, 0)); err == nil {
+		t.Error("snapshot with trailing bytes accepted")
+	}
+	if _, err := RestoreCluster(cfg, blob, WithAlgorithm(CentralizedGather)); err == nil {
+		t.Error("restore into gather cluster accepted")
+	}
+}
