@@ -33,6 +33,32 @@ func (a Algorithm) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler using the paper's names,
+// so Algorithm round-trips through JSON configs (e.g. reservoir-serve).
+func (a Algorithm) MarshalText() ([]byte, error) {
+	switch a {
+	case Distributed, CentralizedGather:
+		return []byte(a.String()), nil
+	default:
+		return nil, fmt.Errorf("reservoir: unknown algorithm %d", int(a))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. It accepts the
+// paper's plot names ("ours", "gather") and descriptive aliases; the empty
+// string selects Distributed.
+func (a *Algorithm) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "", "ours", "distributed":
+		*a = Distributed
+	case "gather", "centralized":
+		*a = CentralizedGather
+	default:
+		return fmt.Errorf("reservoir: unknown algorithm %q (want \"ours\" or \"gather\")", text)
+	}
+	return nil
+}
+
 // NetworkStats reports simulated network traffic.
 type NetworkStats = simnet.Stats
 

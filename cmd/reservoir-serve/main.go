@@ -1,0 +1,71 @@
+// Command reservoir-serve hosts the sampling library as a long-running
+// HTTP service: clients create sampler runs (distributed clusters,
+// sequential samplers, or sliding-window samplers), stream weighted
+// mini-batches into them, and query samples, stats, and a live SSE metrics
+// feed. See DESIGN.md §5 and README.md for the API surface.
+//
+// Usage:
+//
+//	reservoir-serve -addr :8080
+//
+// The server drains gracefully on SIGINT/SIGTERM: metric streams are
+// closed, in-flight requests complete, then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"reservoir/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quiet := flag.Bool("quiet", false, "disable run lifecycle logging")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	flag.Parse()
+
+	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	svc := service.New(service.WithLogger(logf))
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	logf("shutting down (draining for up to %s)", *drain)
+	svc.Close() // end SSE streams so Shutdown is not held open by them
+	sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "reservoir-serve: shutdown:", err)
+		os.Exit(1)
+	}
+	logf("bye")
+}

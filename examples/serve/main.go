@@ -1,0 +1,154 @@
+// reservoir-serve demo: starts the sampling service on a loopback port,
+// creates two runs (a distributed cluster and the gather baseline),
+// ingests mini-batch rounds from concurrent HTTP clients while tailing the
+// SSE metrics stream, then queries samples and stats — the HTTP
+// counterpart of the quickstart example.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"reservoir/internal/service"
+)
+
+func main() {
+	svc := service.New()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: svc.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Two runs: the paper's distributed algorithm and the centralized
+	// gathering baseline, same workload scale.
+	ours := createRun(base, `{"kind":"cluster","p":8,"k":64,"seed":1,"local_threshold":true,"blocked_skip":true}`)
+	gather := createRun(base, `{"kind":"cluster","p":8,"k":64,"seed":1,"algorithm":"gather"}`)
+	fmt.Printf("created runs %s (ours) and %s (gather)\n", ours, gather)
+
+	// Tail the SSE metrics feed of the first run while ingesting.
+	ctx, cancel := context.WithCancel(context.Background())
+	events := make(chan service.Stats, 64)
+	go tailStream(ctx, base, ours, events)
+
+	// Four concurrent clients per run, three synthetic rounds each:
+	// 12 mini-batch rounds per run, 10k items per PE per round.
+	var wg sync.WaitGroup
+	for _, id := range []string{ours, gather} {
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				post(base+"/v1/runs/"+id+"/batches",
+					`{"synthetic":{"source":"uniform","batch_len":10000,"rounds":3}}`)
+			}(id)
+		}
+	}
+	wg.Wait()
+
+	deadline := time.After(2 * time.Second)
+tail:
+	for {
+		select {
+		case ev := <-events:
+			fmt.Printf("  [stream %s] round %2d: sample=%d threshold=%.4g msgs=%d\n",
+				ev.ID, ev.Rounds, ev.SampleSize, ev.Threshold, ev.Network.Messages)
+			if ev.Rounds >= 12 {
+				break tail
+			}
+		case <-deadline:
+			break tail
+		}
+	}
+	cancel()
+
+	for _, id := range []string{ours, gather} {
+		var st service.Stats
+		getJSON(base+"/v1/runs/"+id+"/stats", &st)
+		var sr service.SampleResponse
+		getJSON(base+"/v1/runs/"+id+"/sample", &sr)
+		fmt.Printf("run %s: %d rounds, %d items seen, sample of %d, "+
+			"virtual time %.2f ms, %d messages / %d words on the simulated network\n",
+			id, st.Rounds, st.ItemsProcessed, sr.Count,
+			st.VirtualTimeNS/1e6, st.Network.Messages, st.Network.Words)
+	}
+
+	svc.Close()
+	sdCtx, sdCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer sdCancel()
+	hs.Shutdown(sdCtx)
+}
+
+func createRun(base, cfg string) string {
+	var resp service.CreateResponse
+	body := post(base+"/v1/runs", cfg)
+	if err := json.Unmarshal(body, &resp); err != nil {
+		panic(err)
+	}
+	return resp.ID
+}
+
+func post(url, body string) []byte {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode >= 300 {
+		panic(fmt.Sprintf("POST %s: %s: %s", url, resp.Status, buf.String()))
+	}
+	return buf.Bytes()
+}
+
+func getJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		panic(err)
+	}
+}
+
+// tailStream reads the SSE metrics feed and forwards decoded stats events.
+func tailStream(ctx context.Context, base, id string, out chan<- service.Stats) {
+	req, err := http.NewRequestWithContext(ctx, "GET",
+		base+"/v1/runs/"+id+"/metrics/stream", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var st service.Stats
+			if json.Unmarshal([]byte(data), &st) == nil {
+				select {
+				case out <- st:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module reservoir
+
+go 1.24

@@ -48,6 +48,34 @@ func (s SelStrategy) String() string {
 	}
 }
 
+// MarshalText implements encoding.TextMarshaler so SelStrategy round-trips
+// through JSON configs (e.g. reservoir-serve).
+func (s SelStrategy) MarshalText() ([]byte, error) {
+	switch s {
+	case SelSinglePivot, SelMultiPivot, SelRandomDist:
+		return []byte(s.String()), nil
+	default:
+		return nil, fmt.Errorf("core: unknown selection strategy %d", int(s))
+	}
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler. It accepts the
+// String() names plus the paper's plot aliases ("ours", "ours-d"); the
+// empty string selects SelSinglePivot.
+func (s *SelStrategy) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "", "single-pivot", "ours":
+		*s = SelSinglePivot
+	case "multi-pivot", "ours-d":
+		*s = SelMultiPivot
+	case "random-dist":
+		*s = SelRandomDist
+	default:
+		return fmt.Errorf("core: unknown selection strategy %q", text)
+	}
+	return nil
+}
+
 // Config configures a sampler.
 type Config struct {
 	// K is the sample size for fixed-size sampling.

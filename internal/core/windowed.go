@@ -108,6 +108,22 @@ func (s *WindowedWeighted) Sample() []workload.Item {
 	return out
 }
 
+// SampleSize returns the current sample size — min(k, candidates retained
+// across the live chunks) — without materializing and sorting the sample
+// the way Sample does.
+func (s *WindowedWeighted) SampleSize() int {
+	total := 0
+	for i := range s.ring {
+		if s.ring[i].used {
+			total += s.ring[i].h.len()
+		}
+	}
+	if total > s.k {
+		return s.k
+	}
+	return total
+}
+
 // WindowSpan returns the number of recent items the current sample covers.
 func (s *WindowedWeighted) WindowSpan() int64 {
 	live := int64(0)

@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the service's HTTP routes:
+//
+//	POST   /v1/runs                    create a run from a RunConfig
+//	GET    /v1/runs                    stats of all runs
+//	POST   /v1/runs/{id}/batches       ingest mini-batch rounds (IngestRequest)
+//	GET    /v1/runs/{id}/sample        current global k-sample
+//	GET    /v1/runs/{id}/stats         stats snapshot
+//	GET    /v1/runs/{id}/metrics/stream  SSE feed of per-round stats
+//	DELETE /v1/runs/{id}               delete a run
+//	GET    /healthz                    liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/runs", s.handleCreateRun)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("POST /v1/runs/{id}/batches", s.handleIngest)
+	mux.HandleFunc("GET /v1/runs/{id}/sample", s.handleSample)
+	mux.HandleFunc("GET /v1/runs/{id}/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/runs/{id}/metrics/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleDelete)
+	return mux
+}
+
+// CreateResponse is the POST /v1/runs response body.
+type CreateResponse struct {
+	ID string `json:"id"`
+	// Config echoes the normalized configuration (defaults filled in).
+	Config RunConfig `json:"config"`
+}
+
+// SampleResponse is the GET /v1/runs/{id}/sample response body.
+type SampleResponse struct {
+	ID     string     `json:"id"`
+	Rounds int        `json:"rounds"`
+	Count  int        `json:"count"`
+	Items  []WireItem `json:"items"`
+}
+
+// ListResponse is the GET /v1/runs response body.
+type ListResponse struct {
+	Runs []Stats `json:"runs"`
+}
+
+// HealthResponse is the GET /healthz response body.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Runs   int    `json:"runs"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The response is already committed; nothing sensible to do.
+		_ = err
+	}
+}
+
+func writeErrorf(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeError maps run-layer errors to HTTP responses.
+func writeError(w http.ResponseWriter, err error) {
+	var api *apiError
+	if errors.As(err, &api) {
+		writeErrorf(w, api.code, "%s", api.msg)
+		return
+	}
+	writeErrorf(w, http.StatusInternalServerError, "%v", err)
+}
+
+// decodeBody strictly decodes exactly one JSON value of at most limit
+// bytes: unknown fields, over-limit bodies, and trailing data are rejected.
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return &apiError{
+				code: http.StatusRequestEntityTooLarge,
+				msg:  fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit),
+			}
+		}
+		return badRequestf("invalid request body: %v", err)
+	}
+	if dec.More() {
+		return badRequestf("invalid request body: trailing data after the JSON value")
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Runs: s.runCount()})
+}
+
+func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
+	var cfg RunConfig
+	if err := decodeBody(w, r, maxConfigBytes, &cfg); err != nil {
+		writeError(w, err)
+		return
+	}
+	run, err := s.createRun(cfg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, CreateResponse{ID: run.id, Config: run.cfg})
+}
+
+func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, ListResponse{Runs: s.listRuns()})
+}
+
+// lookupRun resolves the {id} path segment, writing a 404 on a miss.
+func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	id := r.PathValue("id")
+	run, ok := s.lookup(id)
+	if !ok {
+		writeErrorf(w, http.StatusNotFound, "no run %q", id)
+	}
+	return run, ok
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	var req IngestRequest
+	if err := decodeBody(w, r, maxIngestBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	// Bound multi-round ingest by both the request lifetime and server
+	// shutdown.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.shutdownCtx, cancel)
+	defer stop()
+	st, err := run.ingest(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	items, rounds := run.sample()
+	writeJSON(w, http.StatusOK, SampleResponse{
+		ID: run.id, Rounds: rounds, Count: len(items), Items: items,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, run.stats())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.deleteRun(id) {
+		writeErrorf(w, http.StatusNotFound, "no run %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,661 @@
+// Package service implements reservoir-serve: a long-running HTTP service
+// that hosts many concurrent sampler *runs*. A run is one sampler instance
+// — a reservoir.Cluster (the paper's distributed algorithm or the
+// centralized gathering baseline, fixed or variable sample size), a
+// sequential sampler, or a sliding-window sampler — created from a JSON
+// config and driven by batch ingest requests (see DESIGN.md §5).
+//
+// Concurrency model: a mutex-guarded run store maps IDs to runs; each run
+// owns its own mutex that serializes ingest rounds, sample collection, and
+// stats snapshots, because the cluster entry points (ProcessBatches,
+// ProcessRound, Sample) are collective over the goroutine-per-PE simulated
+// network and must not overlap. Clients ingesting into different runs
+// proceed in parallel; clients on the same run are ordered, one whole
+// round at a time.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"reservoir"
+)
+
+// Limits guarding the HTTP surface.
+const (
+	maxRuns        = 1024      // concurrently hosted runs
+	maxPEs         = 1024      // PEs per cluster run (goroutines per round)
+	maxSynthBatch  = 1 << 20   // items per PE per synthetic round
+	maxSynthRounds = 10_000    // rounds per synthetic ingest request
+	maxConfigBytes = 1 << 20   // request body limit for run creation
+	maxIngestBytes = 256 << 20 // request body limit for batch ingest
+)
+
+// Run kinds.
+const (
+	KindCluster    = "cluster"
+	KindSequential = "sequential"
+	KindWindowed   = "windowed"
+)
+
+// WireItem is the JSON encoding of one weighted stream element.
+type WireItem struct {
+	W  float64 `json:"w"`
+	ID uint64  `json:"id"`
+}
+
+// RunConfig is the JSON body of POST /v1/runs. The zero value of every
+// field is a usable default except K (or KMin/KMax), which must be set.
+type RunConfig struct {
+	// Kind selects the sampler: "cluster" (default), "sequential", or
+	// "windowed".
+	Kind string `json:"kind,omitempty"`
+	// P is the number of simulated PEs of a cluster run (default 4).
+	P int `json:"p,omitempty"`
+	// K is the sample size; KMin/KMax switch a cluster run to the paper's
+	// variable-size mode (Sec 4.4) and make K ignored.
+	K    int `json:"k,omitempty"`
+	KMin int `json:"k_min,omitempty"`
+	KMax int `json:"k_max,omitempty"`
+	// Uniform selects unweighted sampling (weights ignored). The default
+	// is weighted sampling, the paper's main setting.
+	Uniform bool `json:"uniform,omitempty"`
+	// Algorithm is "ours" (distributed, default) or "gather"; Strategy is
+	// "single-pivot" (default), "multi-pivot" (with Pivots), or
+	// "random-dist". Both are cluster-only knobs and ignored otherwise.
+	Algorithm reservoir.Algorithm   `json:"algorithm,omitempty"`
+	Strategy  reservoir.SelStrategy `json:"strategy,omitempty"`
+	Pivots    int                   `json:"pivots,omitempty"`
+	// LocalThreshold and BlockedSkip toggle the Sec 5 optimizations.
+	LocalThreshold bool `json:"local_threshold,omitempty"`
+	BlockedSkip    bool `json:"blocked_skip,omitempty"`
+	// Seed drives all run randomness (0 is a valid seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// AlphaNS/BetaNS override the simulated network cost parameters.
+	AlphaNS float64 `json:"alpha_ns,omitempty"`
+	BetaNS  float64 `json:"beta_ns,omitempty"`
+	// Window and ChunkLen configure a windowed run (window must be a
+	// multiple of chunk_len).
+	Window   int `json:"window,omitempty"`
+	ChunkLen int `json:"chunk_len,omitempty"`
+}
+
+// IngestRequest is the JSON body of POST /v1/runs/{id}/batches: either
+// explicit per-PE batches (len must equal the run's p) or a synthetic
+// workload spec, not both.
+type IngestRequest struct {
+	Batches   [][]WireItem   `json:"batches,omitempty"`
+	Synthetic *SyntheticSpec `json:"synthetic,omitempty"`
+}
+
+// SyntheticSpec asks the server to generate mini-batches itself using the
+// paper's workload generators — the service analogue of the experiment
+// drivers, and the cheapest way to push large rounds through a run.
+type SyntheticSpec struct {
+	// Source is "uniform" (default), "skewed", or "pareto".
+	Source string `json:"source,omitempty"`
+	// BatchLen is the number of items per PE per round.
+	BatchLen int `json:"batch_len"`
+	// Rounds is the number of mini-batch rounds to run (default 1).
+	Rounds int `json:"rounds,omitempty"`
+	// Seed overrides the workload seed (default derives from the run seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Lo/Hi bound uniform weights (default (0, 100], the paper's range).
+	Lo float64 `json:"lo,omitempty"`
+	Hi float64 `json:"hi,omitempty"`
+	// Shape is the Pareto tail index (default 1.5).
+	Shape float64 `json:"shape,omitempty"`
+	// BaseMean/RoundInc/RankInc/SD parameterize the skewed source.
+	BaseMean float64 `json:"base_mean,omitempty"`
+	RoundInc float64 `json:"round_inc,omitempty"`
+	RankInc  float64 `json:"rank_inc,omitempty"`
+	SD       float64 `json:"sd,omitempty"`
+}
+
+// NetworkStats mirrors the simulated traffic counters.
+type NetworkStats struct {
+	Messages int64 `json:"messages"`
+	Words    int64 `json:"words"`
+}
+
+// TimingStats is the per-phase virtual-time breakdown (Figure 6 phases).
+type TimingStats struct {
+	ScanNS      float64 `json:"scan_ns"`
+	SelectNS    float64 `json:"select_ns"`
+	ThresholdNS float64 `json:"threshold_ns"`
+	GatherNS    float64 `json:"gather_ns"`
+	TotalNS     float64 `json:"total_ns"`
+}
+
+// Stats is the GET /v1/runs/{id}/stats response and the SSE event payload
+// of /v1/runs/{id}/metrics/stream.
+type Stats struct {
+	ID             string        `json:"id"`
+	Kind           string        `json:"kind"`
+	P              int           `json:"p"`
+	Rounds         int           `json:"rounds"`
+	SampleSize     int           `json:"sample_size"`
+	Threshold      float64       `json:"threshold"`
+	HaveThreshold  bool          `json:"have_threshold"`
+	ItemsProcessed int64         `json:"items_processed"`
+	WeightSeen     float64       `json:"weight_seen,omitempty"`
+	Inserted       int64         `json:"inserted,omitempty"`
+	Selections     int64         `json:"selections,omitempty"`
+	SelectionDepth int64         `json:"selection_rounds,omitempty"`
+	VirtualTimeNS  float64       `json:"virtual_time_ns,omitempty"`
+	Network        *NetworkStats `json:"network,omitempty"`
+	Timing         *TimingStats  `json:"timing,omitempty"`
+}
+
+// apiError carries an HTTP status through the run-layer call chain.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func badRequestf(format string, args ...any) error {
+	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// Run is one hosted sampler instance. Exactly one of the sampler fields is
+// non-nil, fixed at creation.
+type Run struct {
+	id  string
+	cfg RunConfig
+
+	// mu serializes all sampler access: rounds, sample gathering, and
+	// stats snapshots (see the package comment).
+	mu      sync.Mutex
+	cluster *reservoir.Cluster
+	seqW    *reservoir.SequentialWeighted
+	seqU    *reservoir.SequentialUniform
+	win     *reservoir.WindowedWeighted
+	rounds  int
+
+	// subMu guards the SSE subscriber set, which outlives individual
+	// rounds and is closed exactly once when the run is deleted.
+	subMu  sync.Mutex
+	subs   map[chan []byte]struct{}
+	closed bool
+}
+
+// newRun validates cfg and builds the sampler.
+func newRun(id string, cfg RunConfig) (*Run, error) {
+	if cfg.Kind == "" {
+		cfg.Kind = KindCluster
+	}
+	r := &Run{id: id, subs: make(map[chan []byte]struct{})}
+	switch cfg.Kind {
+	case KindCluster:
+		if cfg.Window != 0 || cfg.ChunkLen != 0 {
+			return nil, badRequestf("window/chunk_len are only valid for windowed runs")
+		}
+		if cfg.P == 0 {
+			cfg.P = 4
+		}
+		if cfg.P < 1 || cfg.P > maxPEs {
+			return nil, badRequestf("p must be in [1, %d], got %d", maxPEs, cfg.P)
+		}
+		rcfg := reservoir.Config{
+			K:              cfg.K,
+			KMin:           cfg.KMin,
+			KMax:           cfg.KMax,
+			Weighted:       !cfg.Uniform,
+			Strategy:       cfg.Strategy,
+			Pivots:         cfg.Pivots,
+			LocalThreshold: cfg.LocalThreshold,
+			BlockedSkip:    cfg.BlockedSkip,
+			Seed:           cfg.Seed,
+		}
+		opts := []reservoir.Option{reservoir.WithAlgorithm(cfg.Algorithm)}
+		if cfg.AlphaNS > 0 || cfg.BetaNS > 0 {
+			opts = append(opts, reservoir.WithNetworkCost(cfg.AlphaNS, cfg.BetaNS))
+		}
+		cl, err := reservoir.NewCluster(cfg.P, rcfg, opts...)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		r.cluster = cl
+	case KindSequential, KindWindowed:
+		if cfg.P > 1 {
+			return nil, badRequestf("%s runs have a single stream; p must be 0 or 1", cfg.Kind)
+		}
+		cfg.P = 1
+		if cfg.KMin != 0 || cfg.KMax != 0 {
+			return nil, badRequestf("variable sample size (k_min/k_max) requires a cluster run")
+		}
+		if cfg.K < 1 {
+			return nil, badRequestf("sample size k must be >= 1, got %d", cfg.K)
+		}
+		if cfg.Kind == KindSequential {
+			if cfg.Window != 0 || cfg.ChunkLen != 0 {
+				return nil, badRequestf("window/chunk_len are only valid for windowed runs")
+			}
+			if cfg.Uniform {
+				r.seqU = reservoir.NewUniform(cfg.K, cfg.Seed)
+			} else {
+				r.seqW = reservoir.NewWeighted(cfg.K, cfg.Seed)
+			}
+			break
+		}
+		if cfg.Uniform {
+			return nil, badRequestf("the windowed sampler is weighted only")
+		}
+		if cfg.Window < 1 || cfg.ChunkLen < 1 || cfg.Window%cfg.ChunkLen != 0 {
+			return nil, badRequestf("windowed runs need window > 0, chunk_len > 0, and window %% chunk_len == 0")
+		}
+		r.win = reservoir.NewWindowed(cfg.K, cfg.Window, cfg.ChunkLen, cfg.Seed)
+	default:
+		return nil, badRequestf("unknown kind %q (want %q, %q, or %q)",
+			cfg.Kind, KindCluster, KindSequential, KindWindowed)
+	}
+	r.cfg = cfg
+	return r, nil
+}
+
+// ingest runs one or more whole mini-batch rounds and returns the stats
+// snapshot after the last round. ctx bounds multi-round synthetic ingest:
+// cancellation (client disconnect, server shutdown) stops the loop at the
+// next round boundary.
+func (r *Run) ingest(ctx context.Context, req IngestRequest) (Stats, error) {
+	switch {
+	case req.Synthetic != nil && len(req.Batches) > 0:
+		return Stats{}, badRequestf("provide either batches or synthetic, not both")
+	case req.Synthetic != nil:
+		return r.ingestSynthetic(ctx, *req.Synthetic)
+	case len(req.Batches) > 0:
+		return r.ingestBatches(req.Batches)
+	default:
+		return Stats{}, badRequestf("empty ingest: provide batches or synthetic")
+	}
+}
+
+func (r *Run) ingestBatches(batches [][]WireItem) (Stats, error) {
+	if len(batches) != r.cfg.P {
+		return Stats{}, badRequestf("got %d batches, run has p=%d PEs", len(batches), r.cfg.P)
+	}
+	sb := make([]reservoir.SliceBatch, len(batches))
+	for i, b := range batches {
+		s := make(reservoir.SliceBatch, len(b))
+		for j, it := range b {
+			if !r.cfg.Uniform && !(it.W > 0) {
+				return Stats{}, badRequestf("batch %d item %d: weight must be > 0 for weighted sampling", i, j)
+			}
+			s[j] = reservoir.Item{W: it.W, ID: it.ID}
+		}
+		sb[i] = s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.cluster != nil:
+		if err := r.cluster.ProcessBatches(sb); err != nil {
+			return Stats{}, badRequestf("%v", err)
+		}
+		r.rounds = r.cluster.Round()
+	case r.seqW != nil:
+		r.seqW.ProcessBatch(sb[0])
+		r.rounds++
+	case r.seqU != nil:
+		r.seqU.ProcessBatch(sb[0])
+		r.rounds++
+	case r.win != nil:
+		r.win.ProcessBatch(sb[0])
+		r.rounds++
+	}
+	st := r.statsLocked()
+	r.publish(st)
+	return st, nil
+}
+
+func (r *Run) ingestSynthetic(ctx context.Context, spec SyntheticSpec) (Stats, error) {
+	if spec.BatchLen < 1 || spec.BatchLen > maxSynthBatch {
+		return Stats{}, badRequestf("batch_len must be in [1, %d], got %d", maxSynthBatch, spec.BatchLen)
+	}
+	rounds := spec.Rounds
+	if rounds == 0 {
+		rounds = 1
+	}
+	if rounds < 1 || rounds > maxSynthRounds {
+		return Stats{}, badRequestf("rounds must be in [1, %d], got %d", maxSynthRounds, rounds)
+	}
+	src, err := spec.source(r.cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	// The run mutex is taken per round, not per request, so stats, sample,
+	// and other ingest requests interleave at round boundaries instead of
+	// starving behind a long synthetic loop.
+	var st Stats
+	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return st, &apiError{
+				code: http.StatusServiceUnavailable,
+				msg:  fmt.Sprintf("synthetic ingest stopped after %d of %d rounds: %v", i, rounds, err),
+			}
+		}
+		r.mu.Lock()
+		switch {
+		case r.cluster != nil:
+			r.cluster.ProcessRound(src)
+			r.rounds = r.cluster.Round()
+		case r.seqW != nil:
+			r.seqW.ProcessBatch(src.NextBatch(0, r.rounds))
+			r.rounds++
+		case r.seqU != nil:
+			r.seqU.ProcessBatch(src.NextBatch(0, r.rounds))
+			r.rounds++
+		case r.win != nil:
+			r.win.ProcessBatch(src.NextBatch(0, r.rounds))
+			r.rounds++
+		}
+		st = r.statsLocked()
+		r.publish(st)
+		r.mu.Unlock()
+	}
+	return st, nil
+}
+
+// source builds the workload generator for a synthetic ingest. Batches are
+// derived from (seed, pe, round), so repeated requests against the same run
+// continue the stream rather than replaying it.
+func (s SyntheticSpec) source(cfg RunConfig) (reservoir.Source, error) {
+	seed := s.Seed
+	if seed == 0 {
+		seed = cfg.Seed + 0x9E3779B97F4A7C15
+	}
+	switch s.Source {
+	case "", "uniform":
+		lo, hi := s.Lo, s.Hi
+		if lo == 0 && hi == 0 {
+			lo, hi = 0, 100 // the paper's weight range
+		}
+		if hi <= lo {
+			return nil, badRequestf("uniform source needs hi > lo, got (%g, %g]", lo, hi)
+		}
+		if !cfg.Uniform && lo < 0 {
+			return nil, badRequestf("uniform source on a weighted run needs lo >= 0, got %g", lo)
+		}
+		return reservoir.UniformSource{Seed: seed, BatchLen: s.BatchLen, Lo: lo, Hi: hi}, nil
+	case "skewed":
+		base, sd := s.BaseMean, s.SD
+		if base == 0 {
+			base = 50
+		}
+		if sd == 0 {
+			sd = 10
+		}
+		return reservoir.SkewedSource{
+			Seed: seed, BatchLen: s.BatchLen,
+			BaseMean: base, RoundInc: s.RoundInc, RankInc: s.RankInc, SD: sd,
+		}, nil
+	case "pareto":
+		shape := s.Shape
+		if shape == 0 {
+			shape = 1.5
+		}
+		return reservoir.ParetoSource{Seed: seed, BatchLen: s.BatchLen, Shape: shape}, nil
+	default:
+		return nil, badRequestf("unknown synthetic source %q (want uniform, skewed, or pareto)", s.Source)
+	}
+}
+
+// sample gathers the current global sample.
+func (r *Run) sample() ([]WireItem, int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var items []reservoir.Item
+	switch {
+	case r.cluster != nil:
+		items = r.cluster.Sample()
+	case r.seqW != nil:
+		items = r.seqW.Sample()
+	case r.seqU != nil:
+		items = r.seqU.Sample()
+	case r.win != nil:
+		items = r.win.Sample()
+	}
+	out := make([]WireItem, len(items))
+	for i, it := range items {
+		out[i] = WireItem{W: it.W, ID: it.ID}
+	}
+	return out, r.rounds
+}
+
+// stats snapshots the run's observable state.
+func (r *Run) stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statsLocked()
+}
+
+func (r *Run) statsLocked() Stats {
+	st := Stats{ID: r.id, Kind: r.cfg.Kind, P: r.cfg.P, Rounds: r.rounds}
+	switch {
+	case r.cluster != nil:
+		st.SampleSize = r.cluster.SampleSize()
+		st.Threshold, st.HaveThreshold = r.cluster.Threshold()
+		c := r.cluster.Counters()
+		st.ItemsProcessed = c.ItemsProcessed
+		st.Inserted = c.Inserted
+		st.Selections = c.Selections
+		st.SelectionDepth = c.SelectionRounds
+		st.VirtualTimeNS = r.cluster.VirtualTime()
+		n := r.cluster.NetworkStats()
+		st.Network = &NetworkStats{Messages: n.Messages, Words: n.Words}
+		t := r.cluster.Timing()
+		st.Timing = &TimingStats{
+			ScanNS: t.ScanNS, SelectNS: t.SelectNS,
+			ThresholdNS: t.ThresholdNS, GatherNS: t.GatherNS, TotalNS: t.TotalNS(),
+		}
+	case r.seqW != nil:
+		n, wSum := r.seqW.Seen()
+		st.ItemsProcessed = n
+		st.WeightSeen = wSum
+		st.SampleSize = int(min(int64(r.cfg.K), n))
+		st.Threshold, st.HaveThreshold = r.seqW.Threshold()
+	case r.seqU != nil:
+		n := r.seqU.Seen()
+		st.ItemsProcessed = n
+		st.SampleSize = int(min(int64(r.cfg.K), n))
+		st.Threshold, st.HaveThreshold = r.seqU.Threshold()
+	case r.win != nil:
+		st.ItemsProcessed = r.win.Seen()
+		st.SampleSize = r.win.SampleSize()
+	}
+	return st
+}
+
+// publish fans a stats snapshot out to all SSE subscribers. Sends are
+// non-blocking: a slow subscriber misses intermediate rounds instead of
+// stalling ingest. With no subscribers it returns before marshaling.
+func (r *Run) publish(st Stats) {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	if len(r.subs) == 0 {
+		return
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	for ch := range r.subs {
+		select {
+		case ch <- b:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE listener; reports false if the run is deleted.
+func (r *Run) subscribe() (chan []byte, bool) {
+	r.subMu.Lock()
+	defer r.subMu.Unlock()
+	if r.closed {
+		return nil, false
+	}
+	ch := make(chan []byte, 16)
+	r.subs[ch] = struct{}{}
+	return ch, true
+}
+
+func (r *Run) unsubscribe(ch chan []byte) {
+	r.subMu.Lock()
+	delete(r.subs, ch)
+	r.subMu.Unlock()
+}
+
+// closeSubs ends all metric streams; called exactly once per run, either on
+// DELETE or on server Close.
+func (r *Run) closeSubs() {
+	r.subMu.Lock()
+	r.closed = true
+	for ch := range r.subs {
+		close(ch)
+		delete(r.subs, ch)
+	}
+	r.subMu.Unlock()
+}
+
+// Server is the run store plus the HTTP surface.
+type Server struct {
+	mu     sync.RWMutex
+	runs   map[string]*Run
+	nextID int64
+	closed bool
+
+	// shutdownCtx is canceled by Close; it ends SSE streams and stops
+	// multi-round synthetic ingest at the next round boundary.
+	shutdownCtx context.Context
+	shutdown    context.CancelFunc
+	closeOnce   sync.Once
+	logf        func(format string, args ...any)
+}
+
+// Option customizes New.
+type Option func(*Server)
+
+// WithLogger routes service logs (run lifecycle events) to logf.
+func WithLogger(logf func(format string, args ...any)) Option {
+	return func(s *Server) { s.logf = logf }
+}
+
+// New returns an empty service.
+func New(opts ...Option) *Server {
+	s := &Server{
+		runs: make(map[string]*Run),
+		logf: func(string, ...any) {},
+	}
+	s.shutdownCtx, s.shutdown = context.WithCancel(context.Background())
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Close ends all SSE streams, stops multi-round synthetic ingest at the
+// next round boundary, and rejects further run creation, so an enclosing
+// http.Server.Shutdown can drain without being held open by long-lived
+// work. In-flight explicit-batch rounds complete.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.shutdown()
+		s.mu.Lock()
+		s.closed = true
+		runs := make([]*Run, 0, len(s.runs))
+		for _, r := range s.runs {
+			runs = append(runs, r)
+		}
+		s.mu.Unlock()
+		for _, r := range runs {
+			r.closeSubs()
+		}
+	})
+}
+
+// createRun allocates an ID, builds the sampler, and stores the run.
+func (s *Server) createRun(cfg RunConfig) (*Run, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &apiError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%d", s.nextID)
+	s.mu.Unlock()
+
+	run, err := newRun(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, &apiError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
+	}
+	if len(s.runs) >= maxRuns {
+		s.mu.Unlock()
+		return nil, &apiError{
+			code: http.StatusTooManyRequests,
+			msg:  fmt.Sprintf("run limit (%d) reached; delete a run first", maxRuns),
+		}
+	}
+	s.runs[id] = run
+	s.mu.Unlock()
+	s.logf("created run %s (%s, p=%d, k=%d)", id, run.cfg.Kind, run.cfg.P, run.cfg.K)
+	return run, nil
+}
+
+// lookup returns the run with the given ID.
+func (s *Server) lookup(id string) (*Run, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.runs[id]
+	return r, ok
+}
+
+// deleteRun removes a run and ends its metric streams.
+func (s *Server) deleteRun(id string) bool {
+	s.mu.Lock()
+	r, ok := s.runs[id]
+	if ok {
+		delete(s.runs, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.closeSubs()
+	s.logf("deleted run %s", id)
+	return true
+}
+
+// listRuns snapshots the stats of all runs, ordered by ID.
+func (s *Server) listRuns() []Stats {
+	s.mu.RLock()
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.RUnlock()
+	out := make([]Stats, len(runs))
+	for i, r := range runs {
+		out[i] = r.stats()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// runCount returns the number of live runs.
+func (s *Server) runCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.runs)
+}

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// handleStream serves GET /v1/runs/{id}/metrics/stream: a server-sent-events
+// feed that pushes one "stats" event per completed ingest round, preceded by
+// an immediate snapshot of the current state. The stream ends when the
+// client disconnects, the run is deleted, or the server shuts down.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookupRun(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErrorf(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	// Subscribe before the initial snapshot so no round between snapshot
+	// and subscription is lost.
+	ch, ok := run.subscribe()
+	if !ok {
+		writeErrorf(w, http.StatusNotFound, "run %q was deleted", run.id)
+		return
+	}
+	defer run.unsubscribe(ch)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	snapshot, err := json.Marshal(run.stats())
+	if err != nil {
+		return
+	}
+	writeSSE(w, snapshot)
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.shutdownCtx.Done():
+			return
+		case b, ok := <-ch:
+			if !ok {
+				return // run deleted
+			}
+			writeSSE(w, b)
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSE(w io.Writer, data []byte) {
+	fmt.Fprintf(w, "event: stats\ndata: %s\n\n", data)
+}

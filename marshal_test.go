@@ -1,0 +1,67 @@
+package reservoir_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"reservoir"
+)
+
+// TestAlgorithmTextRoundTrip checks the JSON names used by reservoir-serve
+// configs.
+func TestAlgorithmTextRoundTrip(t *testing.T) {
+	for _, a := range []reservoir.Algorithm{reservoir.Distributed, reservoir.CentralizedGather} {
+		b, err := json.Marshal(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got reservoir.Algorithm
+		if err := json.Unmarshal(b, &got); err != nil || got != a {
+			t.Fatalf("round-trip of %v via %s: got %v, err %v", a, b, got, err)
+		}
+	}
+	var a reservoir.Algorithm
+	for text, want := range map[string]reservoir.Algorithm{
+		`""`: reservoir.Distributed, `"ours"`: reservoir.Distributed,
+		`"distributed"`: reservoir.Distributed,
+		`"gather"`:      reservoir.CentralizedGather,
+		`"centralized"`: reservoir.CentralizedGather,
+	} {
+		if err := json.Unmarshal([]byte(text), &a); err != nil || a != want {
+			t.Errorf("unmarshal %s: got %v, err %v", text, a, err)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &a); err == nil {
+		t.Error("unmarshal of unknown algorithm succeeded")
+	}
+}
+
+// TestSelStrategyTextRoundTrip does the same for selection strategies.
+func TestSelStrategyTextRoundTrip(t *testing.T) {
+	for _, s := range []reservoir.SelStrategy{
+		reservoir.SelSinglePivot, reservoir.SelMultiPivot, reservoir.SelRandomDist,
+	} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got reservoir.SelStrategy
+		if err := json.Unmarshal(b, &got); err != nil || got != s {
+			t.Fatalf("round-trip of %v via %s: got %v, err %v", s, b, got, err)
+		}
+	}
+	var s reservoir.SelStrategy
+	for text, want := range map[string]reservoir.SelStrategy{
+		`""`: reservoir.SelSinglePivot, `"ours"`: reservoir.SelSinglePivot,
+		`"single-pivot"`: reservoir.SelSinglePivot,
+		`"multi-pivot"`:  reservoir.SelMultiPivot, `"ours-d"`: reservoir.SelMultiPivot,
+		`"random-dist"`: reservoir.SelRandomDist,
+	} {
+		if err := json.Unmarshal([]byte(text), &s); err != nil || s != want {
+			t.Errorf("unmarshal %s: got %v, err %v", text, s, err)
+		}
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("unmarshal of unknown strategy succeeded")
+	}
+}
