@@ -167,6 +167,28 @@ func (c *Cluster) Sample() []Item {
 	return out
 }
 
+// SampleSnapshot returns the current global sample without running the
+// collective gather: it concatenates every PE's local reservoir directly,
+// so it charges no virtual time and leaves the simulated traffic counters
+// untouched. The result has the same contents as Sample (the PE-order
+// concatenation of the local samples). It must not be called concurrently
+// with ProcessRound, ProcessBatches, or Sample — callers that observe a
+// live cluster (e.g. the serving layer's per-run ingest worker) must
+// serialize it with the rounds themselves.
+func (c *Cluster) SampleSnapshot() []Item {
+	n := 0
+	locals := make([][]Item, c.p)
+	for i, s := range c.samplers {
+		locals[i] = s.LocalSample()
+		n += len(locals[i])
+	}
+	out := make([]Item, 0, n)
+	for _, l := range locals {
+		out = append(out, l...)
+	}
+	return out
+}
+
 // SampleSize returns the current global sample size.
 func (c *Cluster) SampleSize() int { return c.samplers[0].SampleSize() }
 

@@ -14,6 +14,10 @@
 //
 // Reported times are virtual: deterministic cost-model time of the
 // simulated machine, not wall-clock time of this process.
+//
+// With -json PATH the structured results are additionally written as a
+// BENCH_*.json report in the shared schema of internal/bench (the same
+// format reservoir-loadgen emits); see docs/BENCHMARKS.md.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	pesPerNode := flag.Int("pes-per-node", 0, "override PEs per node")
 	rounds := flag.Int("rounds", 0, "override measured rounds per configuration")
 	seed := flag.Uint64("seed", 0, "override RNG seed")
+	jsonPath := flag.String("json", "", "also write results as a BENCH_*.json report to this path")
 	flag.Parse()
 
 	var scale bench.Scale
@@ -59,34 +64,53 @@ func main() {
 	fmt.Printf("reservoir-bench: scale=%s, %d PEs/node, nodes %v (virtual times; deterministic)\n",
 		scale.Name, scale.PEsPerNode, scale.Nodes)
 
+	rep := bench.NewReport("reservoir-bench", "paper_"+*exp)
+	rep.CreatedAt = start.UTC().Format(time.RFC3339)
+	rep.Params = map[string]any{
+		"scale": scale.Name, "exp": *exp, "pes_per_node": scale.PEsPerNode,
+		"measure_rounds": scale.Measure, "seed": scale.Seed,
+	}
 	run := func(name string, f func()) {
 		t := time.Now()
 		f()
 		fmt.Printf("\n[%s done in %v wall time]\n", name, time.Since(t).Round(time.Millisecond))
 	}
+	weak := func() { rep.AddFigRows(bench.WeakScaling(scale, os.Stdout)) }
+	strong := func() { rep.AddFigRows(bench.StrongScaling(scale, os.Stdout)) }
+	composition := func() { rep.AddCompositionRows(bench.Composition(scale, os.Stdout)) }
+	depth := func() { rep.AddDepthRows(bench.RecursionDepth(scale, os.Stdout)) }
+	insertions := func() { rep.AddInsertionRows(bench.InsertionBound(scale, os.Stdout)) }
+	ablation := func() { rep.AddAblationRows(bench.Ablation(scale, os.Stdout)) }
 	switch *exp {
 	case "weak":
-		run("weak", func() { bench.WeakScaling(scale, os.Stdout) })
+		run("weak", weak)
 	case "strong":
-		run("strong", func() { bench.StrongScaling(scale, os.Stdout) })
+		run("strong", strong)
 	case "composition":
-		run("composition", func() { bench.Composition(scale, os.Stdout) })
+		run("composition", composition)
 	case "depth":
-		run("depth", func() { bench.RecursionDepth(scale, os.Stdout) })
+		run("depth", depth)
 	case "insertions":
-		run("insertions", func() { bench.InsertionBound(scale, os.Stdout) })
+		run("insertions", insertions)
 	case "ablation":
-		run("ablation", func() { bench.Ablation(scale, os.Stdout) })
+		run("ablation", ablation)
 	case "all":
-		run("weak", func() { bench.WeakScaling(scale, os.Stdout) })
-		run("strong", func() { bench.StrongScaling(scale, os.Stdout) })
-		run("composition", func() { bench.Composition(scale, os.Stdout) })
-		run("depth", func() { bench.RecursionDepth(scale, os.Stdout) })
-		run("insertions", func() { bench.InsertionBound(scale, os.Stdout) })
-		run("ablation", func() { bench.Ablation(scale, os.Stdout) })
+		run("weak", weak)
+		run("strong", strong)
+		run("composition", composition)
+		run("depth", depth)
+		run("insertions", insertions)
+		run("ablation", ablation)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d results to %s\n", len(rep.Results), *jsonPath)
 	}
 	fmt.Printf("\ntotal wall time: %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -2,14 +2,18 @@
 // HTTP service: clients create sampler runs (distributed clusters,
 // sequential samplers, or sliding-window samplers), stream weighted
 // mini-batches into them, and query samples, stats, and a live SSE metrics
-// feed. See DESIGN.md §5 and README.md for the API surface.
+// feed. Ingest is asynchronous by default (202 + bounded per-run queues
+// with 429 backpressure; ?wait=true for synchronous rounds); reads are
+// lock-free snapshot lookups. See docs/API.md for the full API reference
+// and DESIGN.md §5 for the architecture.
 //
 // Usage:
 //
-//	reservoir-serve -addr :8080
+//	reservoir-serve -addr :8080 [-queue 64]
 //
 // The server drains gracefully on SIGINT/SIGTERM: metric streams are
-// closed, in-flight requests complete, then the listener shuts down.
+// closed, ingest workers stop at the next round boundary, in-flight
+// requests complete, then the listener shuts down.
 package main
 
 import (
@@ -31,6 +35,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quiet := flag.Bool("quiet", false, "disable run lifecycle logging")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
+	queue := flag.Int("queue", 0, "default per-run ingest queue depth (0 = built-in default)")
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
@@ -38,7 +43,11 @@ func main() {
 		logf = func(string, ...any) {}
 	}
 
-	svc := service.New(service.WithLogger(logf))
+	opts := []service.Option{service.WithLogger(logf)}
+	if *queue > 0 {
+		opts = append(opts, service.WithQueueDepth(*queue))
+	}
+	svc := service.New(opts...)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),

@@ -1,8 +1,10 @@
 // reservoir-serve demo: starts the sampling service on a loopback port,
 // creates two runs (a distributed cluster and the gather baseline),
-// ingests mini-batch rounds from concurrent HTTP clients while tailing the
-// SSE metrics stream, then queries samples and stats — the HTTP
-// counterpart of the quickstart example.
+// ingests mini-batch rounds from concurrent HTTP clients — synchronous
+// ?wait=true rounds on one run, asynchronous 202-Accepted rounds with a
+// queue drain on the other — while tailing the SSE metrics stream, then
+// queries samples and stats. The HTTP counterpart of the quickstart
+// example; see docs/API.md for the full API.
 package main
 
 import (
@@ -43,19 +45,35 @@ func main() {
 	go tailStream(ctx, base, ours, events)
 
 	// Four concurrent clients per run, three synthetic rounds each:
-	// 12 mini-batch rounds per run, 10k items per PE per round.
+	// 12 mini-batch rounds per run, 10k items per PE per round. The
+	// first run takes synchronous rounds (?wait=true blocks until the
+	// round has run and returns its stats); the second takes the default
+	// asynchronous path (202 Accepted, then we wait for the bounded
+	// ingest queue to drain).
 	var wg sync.WaitGroup
-	for _, id := range []string{ours, gather} {
-		for c := 0; c < 4; c++ {
-			wg.Add(1)
-			go func(id string) {
-				defer wg.Done()
-				post(base+"/v1/runs/"+id+"/batches",
-					`{"synthetic":{"source":"uniform","batch_len":10000,"rounds":3}}`)
-			}(id)
-		}
+	for c := 0; c < 4; c++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			post(base+"/v1/runs/"+ours+"/batches?wait=true",
+				`{"synthetic":{"source":"uniform","batch_len":10000,"rounds":3}}`)
+		}()
+		go func() {
+			defer wg.Done()
+			post(base+"/v1/runs/"+gather+"/batches",
+				`{"synthetic":{"source":"uniform","batch_len":10000,"rounds":3}}`)
+		}()
 	}
 	wg.Wait()
+	// The async run acknowledged 4x3 rounds; poll until its queue drains.
+	for {
+		var st service.Stats
+		getJSON(base+"/v1/runs/"+gather+"/stats", &st)
+		if st.Rounds >= 12 && st.PendingRounds == 0 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 
 	deadline := time.After(2 * time.Second)
 tail:

@@ -9,6 +9,11 @@
 // continuous, so ties have probability zero, but the id component makes the
 // order total and deterministic, which keeps the distributed selection of
 // the globally k-th smallest key exact.
+//
+// The tree is the Seq implementation behind internal/distsel's selection
+// algorithms (rank/select in O(log n)) and the storage of every local
+// reservoir in internal/core; splitjoin.go holds the split/join halves,
+// validate.go the structural invariant checker used by the tests.
 package btree
 
 import "math"

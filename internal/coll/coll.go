@@ -9,6 +9,11 @@
 // butterfly (hypercube) exchange. All operations are SPMD: every PE of the
 // communicator must call the same sequence of collectives; a per-communicator
 // operation counter generates matching message tags.
+//
+// The word counts passed to each collective feed the α+βℓ cost model, so
+// virtual time and the simulated traffic counters reflect exactly what the
+// algorithms communicate. internal/core's samplers and internal/distsel's
+// selection algorithms run entirely on top of this package.
 package coll
 
 import (

@@ -23,6 +23,13 @@ type Sampler interface {
 	// CollectSample gathers the current global sample at PE 0 (nil on the
 	// other PEs).
 	CollectSample() []workload.Item
+	// LocalSample returns this PE's part of the sample without any
+	// communication (and therefore without touching the virtual clocks or
+	// traffic counters). The concatenation over all PEs is the global
+	// sample. Unlike the collective methods it may be called on a single
+	// PE, but never concurrently with a collective call on the same
+	// cluster.
+	LocalSample() []workload.Item
 	// SampleSize returns the current global sample size (on every PE).
 	SampleSize() int
 	// Threshold returns the current global key threshold and whether one

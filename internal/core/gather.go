@@ -234,6 +234,20 @@ func (pe *GatherPE) CollectSample() []workload.Item {
 	return out
 }
 
+// LocalSample implements Sampler: the whole sample lives at the root, so
+// the root returns everything and the other PEs return nothing. No
+// communication, no virtual-time charge.
+func (pe *GatherPE) LocalSample() []workload.Item {
+	if pe.comm.Rank() != 0 {
+		return nil
+	}
+	out := make([]workload.Item, len(pe.rootRes))
+	for i, ki := range pe.rootRes {
+		out[i] = ki.Item
+	}
+	return out
+}
+
 // SampleSize implements Sampler.
 func (pe *GatherPE) SampleSize() int { return pe.size }
 

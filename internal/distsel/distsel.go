@@ -23,6 +23,11 @@
 // All functions are SPMD-collective: every PE must call them with the same
 // parameters in the same order. Local sequence operations are abstracted by
 // Seq, so callers can wrap them with virtual-time charging.
+//
+// internal/core's DistPE drives these selections once per mini-batch round
+// to find the new global insertion threshold; their recursion depth is the
+// "selection_rounds" counter surfaced by the service stats API and the
+// Sec 6.3 depth experiment of internal/bench.
 package distsel
 
 import (

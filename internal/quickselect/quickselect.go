@@ -2,6 +2,14 @@
 // centralized gathering baseline (paper Sec 4.5): the root PE selects the k
 // smallest of its gathered candidate items with an expected linear time
 // partition-based algorithm.
+//
+// The single entry point is Select, a generic in-place quickselect with
+// median-of-three pivoting over randomized probes and an insertion-sort
+// base case; after it returns, the k smallest elements occupy s[:k] (in
+// arbitrary order). internal/core's GatherPE uses it to trim the gathered
+// candidate set to the sample size each round; its expected-linear local
+// work is what the paper's Figure 6 "select" bars measure for the gather
+// competitor.
 package quickselect
 
 import "reservoir/internal/rng"

@@ -55,7 +55,7 @@ func TestConcurrentIngestAcrossRuns(t *testing.T) {
 						body = `{"synthetic":{"batch_len":64}}`
 					}
 					var st Stats
-					code, raw := doJSON(t, "POST", base+"/batches", body, &st)
+					code, raw := doJSON(t, "POST", base+"/batches?wait=true", body, &st)
 					if code != http.StatusOK {
 						t.Errorf("run %s client %d: ingest failed: %d %s", ids[i], c, code, raw)
 						failed.Store(true)

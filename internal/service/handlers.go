@@ -1,20 +1,20 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 )
 
-// Handler returns the service's HTTP routes:
+// Handler returns the service's HTTP routes (full reference: docs/API.md):
 //
 //	POST   /v1/runs                    create a run from a RunConfig
 //	GET    /v1/runs                    stats of all runs
-//	POST   /v1/runs/{id}/batches       ingest mini-batch rounds (IngestRequest)
-//	GET    /v1/runs/{id}/sample        current global k-sample
-//	GET    /v1/runs/{id}/stats         stats snapshot
+//	POST   /v1/runs/{id}/batches       enqueue mini-batch rounds (IngestRequest);
+//	                                   202 async by default, 200 with ?wait=true
+//	GET    /v1/runs/{id}/sample        current global k-sample (snapshot read)
+//	GET    /v1/runs/{id}/stats         stats snapshot (never blocks ingest)
 //	GET    /v1/runs/{id}/metrics/stream  SSE feed of per-round stats
 //	DELETE /v1/runs/{id}               delete a run
 //	GET    /healthz                    liveness
@@ -36,6 +36,20 @@ type CreateResponse struct {
 	ID string `json:"id"`
 	// Config echoes the normalized configuration (defaults filled in).
 	Config RunConfig `json:"config"`
+}
+
+// IngestAccepted is the 202 response body of asynchronous ingest: the
+// request was validated and enqueued, but not yet processed. Poll
+// GET .../stats (pending_rounds drops to 0 when the queue has drained) or
+// subscribe to the metrics stream to observe completion.
+type IngestAccepted struct {
+	ID string `json:"id"`
+	// Rounds is the number of rounds this request enqueued.
+	Rounds int `json:"enqueued_rounds"`
+	// QueueLen and PendingRounds are the queue gauges right after the
+	// enqueue (jobs waiting, rounds not yet completed).
+	QueueLen      int   `json:"queue_len"`
+	PendingRounds int64 `json:"pending_rounds"`
 }
 
 // SampleResponse is the GET /v1/runs/{id}/sample response body.
@@ -133,6 +147,11 @@ func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) (*Run, bool) 
 	return run, ok
 }
 
+// handleIngest validates the request, converts it to a job, and enqueues
+// it on the run's bounded queue. By default it responds 202 Accepted as
+// soon as the job is queued; with ?wait=true it blocks until the job has
+// run and responds 200 with the post-round stats. A full queue yields 429
+// with a Retry-After hint — the service's explicit backpressure signal.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	run, ok := s.lookupRun(w, r)
 	if !ok {
@@ -143,18 +162,49 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Bound multi-round ingest by both the request lifetime and server
-	// shutdown.
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
-	stop := context.AfterFunc(s.shutdownCtx, cancel)
-	defer stop()
-	st, err := run.ingest(ctx, req)
+	job, err := run.buildJob(req)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, st)
+	wait := false
+	switch r.URL.Query().Get("wait") {
+	case "true", "1":
+		wait = true
+	}
+	if wait {
+		// A waiting client's disconnect stops a multi-round job at the
+		// next round boundary; async jobs run to completion regardless.
+		job.ctx = r.Context()
+	}
+	if err := run.enqueue(job); err != nil {
+		var api *apiError
+		if errors.As(err, &api) && api.code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, err)
+		return
+	}
+	if !wait {
+		writeJSON(w, http.StatusAccepted, IngestAccepted{
+			ID:            run.id,
+			Rounds:        job.rounds,
+			QueueLen:      len(run.queue),
+			PendingRounds: run.pending.Load(),
+		})
+		return
+	}
+	select {
+	case res := <-job.done:
+		if res.err != nil {
+			writeError(w, res.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res.st)
+	case <-r.Context().Done():
+		// Client gone; the worker still finishes or cancels the job on
+		// its own (job.ctx is this request's context). Nothing to write.
+	}
 }
 
 func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {

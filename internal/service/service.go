@@ -3,14 +3,20 @@
 // — a reservoir.Cluster (the paper's distributed algorithm or the
 // centralized gathering baseline, fixed or variable sample size), a
 // sequential sampler, or a sliding-window sampler — created from a JSON
-// config and driven by batch ingest requests (see DESIGN.md §5).
+// config and driven by batch ingest requests (see DESIGN.md §5 and
+// docs/API.md).
 //
-// Concurrency model: a mutex-guarded run store maps IDs to runs; each run
-// owns its own mutex that serializes ingest rounds, sample collection, and
-// stats snapshots, because the cluster entry points (ProcessBatches,
-// ProcessRound, Sample) are collective over the goroutine-per-PE simulated
-// network and must not overlap. Clients ingesting into different runs
-// proceed in parallel; clients on the same run are ordered, one whole
+// Concurrency model (async sharded ingest): every run owns a dedicated
+// worker goroutine that is the *sole* owner of its sampler. Ingest
+// requests are validated, converted into jobs on pooled buffers, and
+// placed on the run's bounded queue; a full queue is explicit
+// backpressure (429). POST ingest defaults to asynchronous 202 Accepted
+// and turns synchronous with ?wait=true. After every completed round the
+// worker publishes an immutable snapshot (stats + current sample) through
+// an atomic pointer, so GET /sample, GET /stats, and run listings never
+// block ingest — they read the latest snapshot without taking any lock.
+// Runs are independent shards: clients on different runs proceed in
+// parallel; jobs on the same run are ordered by its queue, one whole
 // round at a time.
 package service
 
@@ -21,18 +27,21 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"reservoir"
 )
 
 // Limits guarding the HTTP surface.
 const (
-	maxRuns        = 1024      // concurrently hosted runs
-	maxPEs         = 1024      // PEs per cluster run (goroutines per round)
-	maxSynthBatch  = 1 << 20   // items per PE per synthetic round
-	maxSynthRounds = 10_000    // rounds per synthetic ingest request
-	maxConfigBytes = 1 << 20   // request body limit for run creation
-	maxIngestBytes = 256 << 20 // request body limit for batch ingest
+	maxRuns          = 1024      // concurrently hosted runs
+	maxPEs           = 1024      // PEs per cluster run (goroutines per round)
+	maxSynthBatch    = 1 << 20   // items per PE per synthetic round
+	maxSynthRounds   = 10_000    // rounds per synthetic ingest request
+	maxConfigBytes   = 1 << 20   // request body limit for run creation
+	maxIngestBytes   = 256 << 20 // request body limit for batch ingest
+	maxQueueDepth    = 4096      // hard cap on a run's ingest queue
+	defaultQueueSize = 32        // default ingest queue depth per run
 )
 
 // Run kinds.
@@ -82,6 +91,9 @@ type RunConfig struct {
 	// multiple of chunk_len).
 	Window   int `json:"window,omitempty"`
 	ChunkLen int `json:"chunk_len,omitempty"`
+	// QueueDepth bounds this run's ingest queue (jobs, not rounds);
+	// 0 uses the server default. A full queue rejects ingest with 429.
+	QueueDepth int `json:"queue_depth,omitempty"`
 }
 
 // IngestRequest is the JSON body of POST /v1/runs/{id}/batches: either
@@ -132,7 +144,10 @@ type TimingStats struct {
 }
 
 // Stats is the GET /v1/runs/{id}/stats response and the SSE event payload
-// of /v1/runs/{id}/metrics/stream.
+// of /v1/runs/{id}/metrics/stream. Everything except the queue fields
+// describes the state as of the last completed round (the atomically
+// published snapshot); QueueLen, QueueCap, and PendingRounds are read live
+// from the ingest queue.
 type Stats struct {
 	ID             string        `json:"id"`
 	Kind           string        `json:"kind"`
@@ -149,6 +164,12 @@ type Stats struct {
 	VirtualTimeNS  float64       `json:"virtual_time_ns,omitempty"`
 	Network        *NetworkStats `json:"network,omitempty"`
 	Timing         *TimingStats  `json:"timing,omitempty"`
+	// QueueLen is the number of ingest jobs waiting on the run's queue;
+	// QueueCap is the queue's capacity; PendingRounds is the number of
+	// rounds enqueued (or in flight) but not yet completed.
+	QueueLen      int   `json:"queue_len"`
+	QueueCap      int   `json:"queue_cap"`
+	PendingRounds int64 `json:"pending_rounds,omitempty"`
 }
 
 // apiError carries an HTTP status through the run-layer call chain.
@@ -163,20 +184,49 @@ func badRequestf(format string, args ...any) error {
 	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
+// snapshot is the immutable read view of a run, replaced wholesale by the
+// ingest worker after every completed round. Readers must not mutate
+// items.
+type snapshot struct {
+	stats Stats
+	items []WireItem
+}
+
 // Run is one hosted sampler instance. Exactly one of the sampler fields is
-// non-nil, fixed at creation.
+// non-nil, fixed at creation. After start, the sampler fields and rounds
+// are owned exclusively by the worker goroutine; all other goroutines
+// observe the run only through the atomic snapshot and the queue.
 type Run struct {
 	id  string
 	cfg RunConfig
 
-	// mu serializes all sampler access: rounds, sample gathering, and
-	// stats snapshots (see the package comment).
-	mu      sync.Mutex
 	cluster *reservoir.Cluster
 	seqW    *reservoir.SequentialWeighted
 	seqU    *reservoir.SequentialUniform
 	win     *reservoir.WindowedWeighted
 	rounds  int
+
+	// Ingest queue. qmu only guards the closed flag handshake between
+	// enqueuers and the worker's final drain; the channel itself carries
+	// the jobs.
+	queue   chan *ingestJob
+	qmu     sync.Mutex
+	qclosed bool
+	pending atomic.Int64 // rounds enqueued but not yet completed
+
+	// Worker lifecycle: ctx is canceled on run deletion or server
+	// shutdown; workerDone closes when the worker goroutine has exited.
+	ctx        context.Context
+	cancel     context.CancelFunc
+	workerDone chan struct{}
+
+	// snap is the atomically published read view (never nil after newRun).
+	snap atomic.Pointer[snapshot]
+
+	// roundHook, when non-nil, runs before each round on the worker
+	// goroutine. Test-only: lets tests hold the worker busy
+	// deterministically.
+	roundHook func()
 
 	// subMu guards the SSE subscriber set, which outlives individual
 	// rounds and is closed exactly once when the run is deleted.
@@ -186,9 +236,15 @@ type Run struct {
 }
 
 // newRun validates cfg and builds the sampler.
-func newRun(id string, cfg RunConfig) (*Run, error) {
+func newRun(id string, cfg RunConfig, queueDepth int) (*Run, error) {
 	if cfg.Kind == "" {
 		cfg.Kind = KindCluster
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = queueDepth
+	}
+	if cfg.QueueDepth < 1 || cfg.QueueDepth > maxQueueDepth {
+		return nil, badRequestf("queue_depth must be in [1, %d], got %d", maxQueueDepth, cfg.QueueDepth)
 	}
 	r := &Run{id: id, subs: make(map[chan []byte]struct{})}
 	switch cfg.Kind {
@@ -256,220 +312,38 @@ func newRun(id string, cfg RunConfig) (*Run, error) {
 			cfg.Kind, KindCluster, KindSequential, KindWindowed)
 	}
 	r.cfg = cfg
+	r.queue = make(chan *ingestJob, cfg.QueueDepth)
+	// items must be non-nil so GET .../sample serves "items": [] (not
+	// null) before the first round.
+	r.snap.Store(&snapshot{stats: r.buildStats(), items: []WireItem{}})
 	return r, nil
 }
 
-// ingest runs one or more whole mini-batch rounds and returns the stats
-// snapshot after the last round. ctx bounds multi-round synthetic ingest:
-// cancellation (client disconnect, server shutdown) stops the loop at the
-// next round boundary.
-func (r *Run) ingest(ctx context.Context, req IngestRequest) (Stats, error) {
-	switch {
-	case req.Synthetic != nil && len(req.Batches) > 0:
-		return Stats{}, badRequestf("provide either batches or synthetic, not both")
-	case req.Synthetic != nil:
-		return r.ingestSynthetic(ctx, *req.Synthetic)
-	case len(req.Batches) > 0:
-		return r.ingestBatches(req.Batches)
-	default:
-		return Stats{}, badRequestf("empty ingest: provide batches or synthetic")
-	}
+// start launches the ingest worker. ctx (the server's shutdown context)
+// and deletion both cancel it; done is called when the worker exits.
+func (r *Run) start(ctx context.Context, done func()) {
+	r.ctx, r.cancel = context.WithCancel(ctx)
+	r.workerDone = make(chan struct{})
+	go func() {
+		defer done()
+		r.work()
+	}()
 }
 
-func (r *Run) ingestBatches(batches [][]WireItem) (Stats, error) {
-	if len(batches) != r.cfg.P {
-		return Stats{}, badRequestf("got %d batches, run has p=%d PEs", len(batches), r.cfg.P)
-	}
-	sb := make([]reservoir.SliceBatch, len(batches))
-	for i, b := range batches {
-		s := make(reservoir.SliceBatch, len(b))
-		for j, it := range b {
-			if !r.cfg.Uniform && !(it.W > 0) {
-				return Stats{}, badRequestf("batch %d item %d: weight must be > 0 for weighted sampling", i, j)
-			}
-			s[j] = reservoir.Item{W: it.W, ID: it.ID}
-		}
-		sb[i] = s
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	switch {
-	case r.cluster != nil:
-		if err := r.cluster.ProcessBatches(sb); err != nil {
-			return Stats{}, badRequestf("%v", err)
-		}
-		r.rounds = r.cluster.Round()
-	case r.seqW != nil:
-		r.seqW.ProcessBatch(sb[0])
-		r.rounds++
-	case r.seqU != nil:
-		r.seqU.ProcessBatch(sb[0])
-		r.rounds++
-	case r.win != nil:
-		r.win.ProcessBatch(sb[0])
-		r.rounds++
-	}
-	st := r.statsLocked()
-	r.publish(st)
-	return st, nil
-}
-
-func (r *Run) ingestSynthetic(ctx context.Context, spec SyntheticSpec) (Stats, error) {
-	if spec.BatchLen < 1 || spec.BatchLen > maxSynthBatch {
-		return Stats{}, badRequestf("batch_len must be in [1, %d], got %d", maxSynthBatch, spec.BatchLen)
-	}
-	rounds := spec.Rounds
-	if rounds == 0 {
-		rounds = 1
-	}
-	if rounds < 1 || rounds > maxSynthRounds {
-		return Stats{}, badRequestf("rounds must be in [1, %d], got %d", maxSynthRounds, rounds)
-	}
-	src, err := spec.source(r.cfg)
-	if err != nil {
-		return Stats{}, err
-	}
-	// The run mutex is taken per round, not per request, so stats, sample,
-	// and other ingest requests interleave at round boundaries instead of
-	// starving behind a long synthetic loop.
-	var st Stats
-	for i := 0; i < rounds; i++ {
-		if err := ctx.Err(); err != nil {
-			return st, &apiError{
-				code: http.StatusServiceUnavailable,
-				msg:  fmt.Sprintf("synthetic ingest stopped after %d of %d rounds: %v", i, rounds, err),
-			}
-		}
-		r.mu.Lock()
-		switch {
-		case r.cluster != nil:
-			r.cluster.ProcessRound(src)
-			r.rounds = r.cluster.Round()
-		case r.seqW != nil:
-			r.seqW.ProcessBatch(src.NextBatch(0, r.rounds))
-			r.rounds++
-		case r.seqU != nil:
-			r.seqU.ProcessBatch(src.NextBatch(0, r.rounds))
-			r.rounds++
-		case r.win != nil:
-			r.win.ProcessBatch(src.NextBatch(0, r.rounds))
-			r.rounds++
-		}
-		st = r.statsLocked()
-		r.publish(st)
-		r.mu.Unlock()
-	}
-	return st, nil
-}
-
-// source builds the workload generator for a synthetic ingest. Batches are
-// derived from (seed, pe, round), so repeated requests against the same run
-// continue the stream rather than replaying it.
-func (s SyntheticSpec) source(cfg RunConfig) (reservoir.Source, error) {
-	seed := s.Seed
-	if seed == 0 {
-		seed = cfg.Seed + 0x9E3779B97F4A7C15
-	}
-	switch s.Source {
-	case "", "uniform":
-		lo, hi := s.Lo, s.Hi
-		if lo == 0 && hi == 0 {
-			lo, hi = 0, 100 // the paper's weight range
-		}
-		if hi <= lo {
-			return nil, badRequestf("uniform source needs hi > lo, got (%g, %g]", lo, hi)
-		}
-		if !cfg.Uniform && lo < 0 {
-			return nil, badRequestf("uniform source on a weighted run needs lo >= 0, got %g", lo)
-		}
-		return reservoir.UniformSource{Seed: seed, BatchLen: s.BatchLen, Lo: lo, Hi: hi}, nil
-	case "skewed":
-		base, sd := s.BaseMean, s.SD
-		if base == 0 {
-			base = 50
-		}
-		if sd == 0 {
-			sd = 10
-		}
-		return reservoir.SkewedSource{
-			Seed: seed, BatchLen: s.BatchLen,
-			BaseMean: base, RoundInc: s.RoundInc, RankInc: s.RankInc, SD: sd,
-		}, nil
-	case "pareto":
-		shape := s.Shape
-		if shape == 0 {
-			shape = 1.5
-		}
-		return reservoir.ParetoSource{Seed: seed, BatchLen: s.BatchLen, Shape: shape}, nil
-	default:
-		return nil, badRequestf("unknown synthetic source %q (want uniform, skewed, or pareto)", s.Source)
-	}
-}
-
-// sample gathers the current global sample.
-func (r *Run) sample() ([]WireItem, int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var items []reservoir.Item
-	switch {
-	case r.cluster != nil:
-		items = r.cluster.Sample()
-	case r.seqW != nil:
-		items = r.seqW.Sample()
-	case r.seqU != nil:
-		items = r.seqU.Sample()
-	case r.win != nil:
-		items = r.win.Sample()
-	}
-	out := make([]WireItem, len(items))
-	for i, it := range items {
-		out[i] = WireItem{W: it.W, ID: it.ID}
-	}
-	return out, r.rounds
-}
-
-// stats snapshots the run's observable state.
+// stats returns the last published snapshot's stats plus live queue gauges.
 func (r *Run) stats() Stats {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.statsLocked()
+	st := r.snap.Load().stats
+	st.QueueLen = len(r.queue)
+	st.QueueCap = cap(r.queue)
+	st.PendingRounds = r.pending.Load()
+	return st
 }
 
-func (r *Run) statsLocked() Stats {
-	st := Stats{ID: r.id, Kind: r.cfg.Kind, P: r.cfg.P, Rounds: r.rounds}
-	switch {
-	case r.cluster != nil:
-		st.SampleSize = r.cluster.SampleSize()
-		st.Threshold, st.HaveThreshold = r.cluster.Threshold()
-		c := r.cluster.Counters()
-		st.ItemsProcessed = c.ItemsProcessed
-		st.Inserted = c.Inserted
-		st.Selections = c.Selections
-		st.SelectionDepth = c.SelectionRounds
-		st.VirtualTimeNS = r.cluster.VirtualTime()
-		n := r.cluster.NetworkStats()
-		st.Network = &NetworkStats{Messages: n.Messages, Words: n.Words}
-		t := r.cluster.Timing()
-		st.Timing = &TimingStats{
-			ScanNS: t.ScanNS, SelectNS: t.SelectNS,
-			ThresholdNS: t.ThresholdNS, GatherNS: t.GatherNS, TotalNS: t.TotalNS(),
-		}
-	case r.seqW != nil:
-		n, wSum := r.seqW.Seen()
-		st.ItemsProcessed = n
-		st.WeightSeen = wSum
-		st.SampleSize = int(min(int64(r.cfg.K), n))
-		st.Threshold, st.HaveThreshold = r.seqW.Threshold()
-	case r.seqU != nil:
-		n := r.seqU.Seen()
-		st.ItemsProcessed = n
-		st.SampleSize = int(min(int64(r.cfg.K), n))
-		st.Threshold, st.HaveThreshold = r.seqU.Threshold()
-	case r.win != nil:
-		st.ItemsProcessed = r.win.Seen()
-		st.SampleSize = r.win.SampleSize()
-	}
-	return st
+// sample returns the last published sample and its round number. The
+// returned slice is shared and must not be mutated.
+func (r *Run) sample() ([]WireItem, int) {
+	s := r.snap.Load()
+	return s.items, s.stats.Rounds
 }
 
 // publish fans a stats snapshot out to all SSE subscribers. Sends are
@@ -511,8 +385,8 @@ func (r *Run) unsubscribe(ch chan []byte) {
 	r.subMu.Unlock()
 }
 
-// closeSubs ends all metric streams; called exactly once per run, either on
-// DELETE or on server Close.
+// closeSubs ends all metric streams; idempotent, called on DELETE and on
+// server Close.
 func (r *Run) closeSubs() {
 	r.subMu.Lock()
 	r.closed = true
@@ -531,10 +405,12 @@ type Server struct {
 	closed bool
 
 	// shutdownCtx is canceled by Close; it ends SSE streams and stops
-	// multi-round synthetic ingest at the next round boundary.
+	// every run's ingest worker at the next round boundary.
 	shutdownCtx context.Context
 	shutdown    context.CancelFunc
 	closeOnce   sync.Once
+	workers     sync.WaitGroup
+	queueDepth  int
 	logf        func(format string, args ...any)
 }
 
@@ -546,11 +422,22 @@ func WithLogger(logf func(format string, args ...any)) Option {
 	return func(s *Server) { s.logf = logf }
 }
 
+// WithQueueDepth sets the default per-run ingest queue depth (jobs).
+// Individual runs may override it with RunConfig.QueueDepth.
+func WithQueueDepth(n int) Option {
+	return func(s *Server) {
+		if n >= 1 && n <= maxQueueDepth {
+			s.queueDepth = n
+		}
+	}
+}
+
 // New returns an empty service.
 func New(opts ...Option) *Server {
 	s := &Server{
-		runs: make(map[string]*Run),
-		logf: func(string, ...any) {},
+		runs:       make(map[string]*Run),
+		queueDepth: defaultQueueSize,
+		logf:       func(string, ...any) {},
 	}
 	s.shutdownCtx, s.shutdown = context.WithCancel(context.Background())
 	for _, o := range opts {
@@ -559,10 +446,11 @@ func New(opts ...Option) *Server {
 	return s
 }
 
-// Close ends all SSE streams, stops multi-round synthetic ingest at the
-// next round boundary, and rejects further run creation, so an enclosing
+// Close ends all SSE streams, stops every ingest worker at the next round
+// boundary (queued jobs are failed, waiters get 503), rejects further run
+// creation, and waits for the workers to exit, so an enclosing
 // http.Server.Shutdown can drain without being held open by long-lived
-// work. In-flight explicit-batch rounds complete.
+// work.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.shutdown()
@@ -576,10 +464,12 @@ func (s *Server) Close() {
 		for _, r := range runs {
 			r.closeSubs()
 		}
+		s.workers.Wait()
 	})
 }
 
-// createRun allocates an ID, builds the sampler, and stores the run.
+// createRun allocates an ID, builds the sampler, stores the run, and
+// starts its ingest worker.
 func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 	s.mu.Lock()
 	if s.closed {
@@ -590,7 +480,7 @@ func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 	id := fmt.Sprintf("r%d", s.nextID)
 	s.mu.Unlock()
 
-	run, err := newRun(id, cfg)
+	run, err := newRun(id, cfg, s.queueDepth)
 	if err != nil {
 		return nil, err
 	}
@@ -608,8 +498,10 @@ func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 		}
 	}
 	s.runs[id] = run
+	s.workers.Add(1)
+	run.start(s.shutdownCtx, s.workers.Done)
 	s.mu.Unlock()
-	s.logf("created run %s (%s, p=%d, k=%d)", id, run.cfg.Kind, run.cfg.P, run.cfg.K)
+	s.logf("created run %s (%s, p=%d, k=%d, queue=%d)", id, run.cfg.Kind, run.cfg.P, run.cfg.K, run.cfg.QueueDepth)
 	return run, nil
 }
 
@@ -621,7 +513,9 @@ func (s *Server) lookup(id string) (*Run, bool) {
 	return r, ok
 }
 
-// deleteRun removes a run and ends its metric streams.
+// deleteRun removes a run, stops its worker (failing any queued jobs), and
+// ends its metric streams. It does not wait for the worker: an in-flight
+// round finishes in the background at its own pace.
 func (s *Server) deleteRun(id string) bool {
 	s.mu.Lock()
 	r, ok := s.runs[id]
@@ -632,12 +526,14 @@ func (s *Server) deleteRun(id string) bool {
 	if !ok {
 		return false
 	}
+	r.cancel()
 	r.closeSubs()
 	s.logf("deleted run %s", id)
 	return true
 }
 
-// listRuns snapshots the stats of all runs, ordered by ID.
+// listRuns snapshots the stats of all runs, ordered by ID. Pure snapshot
+// reads: listing never blocks any run's ingest.
 func (s *Server) listRuns() []Stats {
 	s.mu.RLock()
 	runs := make([]*Run, 0, len(s.runs))

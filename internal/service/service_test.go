@@ -143,7 +143,7 @@ func TestClusterRunLifecycle(t *testing.T) {
 
 	var st Stats
 	for round := 0; round < 3; round++ {
-		code, raw := doJSON(t, "POST", base+"/batches", makeBatches(p, 50, uint64(round*1000)), &st)
+		code, raw := doJSON(t, "POST", base+"/batches?wait=true", makeBatches(p, 50, uint64(round*1000)), &st)
 		if code != http.StatusOK {
 			t.Fatalf("ingest round %d: %d %s", round, code, raw)
 		}
@@ -240,7 +240,7 @@ func TestSyntheticSources(t *testing.T) {
 			run := createRun(t, ts, `{"kind":"cluster","p":2,"k":16,"seed":5}`)
 			var st Stats
 			body := fmt.Sprintf(`{"synthetic":{"source":%q,"batch_len":500,"rounds":4}}`, src)
-			code, raw := doJSON(t, "POST", ts.URL+"/v1/runs/"+run.ID+"/batches", body, &st)
+			code, raw := doJSON(t, "POST", ts.URL+"/v1/runs/"+run.ID+"/batches?wait=true", body, &st)
 			if code != http.StatusOK {
 				t.Fatalf("synthetic ingest: %d %s", code, raw)
 			}
@@ -256,7 +256,7 @@ func TestUniformAndGatherRuns(t *testing.T) {
 
 	uni := createRun(t, ts, `{"kind":"cluster","p":2,"k":6,"uniform":true,"seed":9}`)
 	var st Stats
-	doJSON(t, "POST", ts.URL+"/v1/runs/"+uni.ID+"/batches",
+	doJSON(t, "POST", ts.URL+"/v1/runs/"+uni.ID+"/batches?wait=true",
 		`{"synthetic":{"batch_len":100,"rounds":2}}`, &st)
 	if st.SampleSize != 6 {
 		t.Fatalf("uniform cluster sample size = %d, want 6", st.SampleSize)
@@ -266,14 +266,14 @@ func TestUniformAndGatherRuns(t *testing.T) {
 	if g.Config.Algorithm.String() != "gather" {
 		t.Fatalf("algorithm not round-tripped: %+v", g.Config)
 	}
-	doJSON(t, "POST", ts.URL+"/v1/runs/"+g.ID+"/batches",
+	doJSON(t, "POST", ts.URL+"/v1/runs/"+g.ID+"/batches?wait=true",
 		`{"synthetic":{"batch_len":100,"rounds":2}}`, &st)
 	if st.SampleSize != 6 || st.Network.Messages == 0 {
 		t.Fatalf("gather run stats: %+v", st)
 	}
 
 	mp := createRun(t, ts, `{"kind":"cluster","p":4,"k":32,"strategy":"multi-pivot","pivots":8,"seed":2}`)
-	doJSON(t, "POST", ts.URL+"/v1/runs/"+mp.ID+"/batches",
+	doJSON(t, "POST", ts.URL+"/v1/runs/"+mp.ID+"/batches?wait=true",
 		`{"synthetic":{"batch_len":1000,"rounds":3}}`, &st)
 	if st.SampleSize != 32 || st.Selections == 0 {
 		t.Fatalf("multi-pivot run stats: %+v", st)
@@ -284,7 +284,7 @@ func TestVariableSizeRun(t *testing.T) {
 	ts, _ := newTestServer(t)
 	run := createRun(t, ts, `{"kind":"cluster","p":2,"k_min":8,"k_max":16,"seed":4}`)
 	var st Stats
-	doJSON(t, "POST", ts.URL+"/v1/runs/"+run.ID+"/batches",
+	doJSON(t, "POST", ts.URL+"/v1/runs/"+run.ID+"/batches?wait=true",
 		`{"synthetic":{"batch_len":400,"rounds":5}}`, &st)
 	if st.SampleSize < 8 || st.SampleSize > 16 {
 		t.Fatalf("variable-size sample = %d, want within [8, 16]", st.SampleSize)
@@ -300,7 +300,7 @@ func TestSequentialRuns(t *testing.T) {
 		run := createRun(t, ts, cfg)
 		base := ts.URL + "/v1/runs/" + run.ID
 		var st Stats
-		code, raw := doJSON(t, "POST", base+"/batches", makeBatches(1, 40, 0), &st)
+		code, raw := doJSON(t, "POST", base+"/batches?wait=true", makeBatches(1, 40, 0), &st)
 		if code != http.StatusOK {
 			t.Fatalf("sequential ingest: %d %s", code, raw)
 		}
@@ -320,11 +320,11 @@ func TestWindowedRun(t *testing.T) {
 	run := createRun(t, ts, `{"kind":"windowed","k":4,"window":32,"chunk_len":8,"seed":13}`)
 	base := ts.URL + "/v1/runs/" + run.ID
 	var st Stats
-	doJSON(t, "POST", base+"/batches", makeBatches(1, 3, 500), &st)
+	doJSON(t, "POST", base+"/batches?wait=true", makeBatches(1, 3, 500), &st)
 	if st.SampleSize != 3 {
 		t.Fatalf("partially filled windowed sample size = %d, want 3", st.SampleSize)
 	}
-	doJSON(t, "POST", base+"/batches", makeBatches(1, 100, 0), &st)
+	doJSON(t, "POST", base+"/batches?wait=true", makeBatches(1, 100, 0), &st)
 	if st.Rounds != 2 || st.SampleSize != 4 || st.ItemsProcessed != 103 {
 		t.Fatalf("windowed stats: %+v", st)
 	}
@@ -391,7 +391,7 @@ func TestMetricsStream(t *testing.T) {
 	}
 
 	var ingestStats Stats
-	doJSON(t, "POST", base+"/batches", `{"synthetic":{"batch_len":200,"rounds":2}}`, &ingestStats)
+	doJSON(t, "POST", base+"/batches?wait=true", `{"synthetic":{"batch_len":200,"rounds":2}}`, &ingestStats)
 
 	first := readEvent(t, sc)
 	second := readEvent(t, sc)
@@ -443,20 +443,30 @@ func TestOversizedBody(t *testing.T) {
 	}
 }
 
-// TestSyntheticIngestCanceled checks that a canceled context stops a
+// TestSyntheticIngestCanceled checks that a canceled job context stops a
 // multi-round synthetic ingest at a round boundary instead of running all
 // requested rounds to completion.
 func TestSyntheticIngestCanceled(t *testing.T) {
-	run, err := newRun("x", RunConfig{Kind: KindCluster, P: 2, K: 4})
+	svc := New()
+	defer svc.Close()
+	run, err := svc.createRun(RunConfig{Kind: KindCluster, P: 2, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := run.buildJob(IngestRequest{
+		Synthetic: &SyntheticSpec{BatchLen: 10, Rounds: 100},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = run.ingest(ctx, IngestRequest{
-		Synthetic: &SyntheticSpec{BatchLen: 10, Rounds: 100},
-	})
-	if err == nil {
+	job.ctx = ctx
+	if err := run.enqueue(job); err != nil {
+		t.Fatal(err)
+	}
+	res := <-job.done
+	if res.err == nil {
 		t.Fatal("ingest with canceled context succeeded")
 	}
 	if st := run.stats(); st.Rounds != 0 {
@@ -479,7 +489,7 @@ func TestServerCloseStopsSyntheticIngest(t *testing.T) {
 	go func() {
 		close(started)
 		var st Stats
-		doJSON(t, "POST", ts.URL+"/v1/runs/"+resp.ID+"/batches",
+		doJSON(t, "POST", ts.URL+"/v1/runs/"+resp.ID+"/batches?wait=true",
 			`{"synthetic":{"batch_len":2000,"rounds":10000}}`, &st)
 		finished <- st.Rounds
 	}()

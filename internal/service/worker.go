@@ -1,0 +1,221 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+
+	"reservoir"
+)
+
+// work is the run's ingest worker loop: the sole goroutine that touches
+// the sampler. It pulls jobs off the bounded queue, runs them one whole
+// round at a time, publishes a fresh snapshot after every round, and on
+// cancellation (run deletion or server shutdown) fails all still-queued
+// jobs so no waiter is left hanging.
+func (r *Run) work() {
+	defer close(r.workerDone)
+	for {
+		select {
+		case <-r.ctx.Done():
+			r.drainQueue()
+			return
+		case job := <-r.queue:
+			if r.ctx.Err() != nil {
+				// The run was canceled while this job sat on the queue
+				// (select picks arms randomly when both are ready): it
+				// never started, so fail it like the drained jobs and
+				// stop.
+				r.failJob(job)
+				r.drainQueue()
+				return
+			}
+			res := r.process(job)
+			if job.buf != nil {
+				job.buf.release()
+			}
+			job.done <- res
+		}
+	}
+}
+
+// failJob rejects a job that will never run (run deleted or server shut
+// down before processing started).
+func (r *Run) failJob(job *ingestJob) {
+	r.pending.Add(-int64(job.rounds))
+	if job.buf != nil {
+		job.buf.release()
+	}
+	job.done <- ingestResult{err: &apiError{
+		code: http.StatusGone,
+		msg:  "run was deleted (or the server shut down) before the batch was processed",
+	}}
+}
+
+// drainQueue marks the queue closed (so no further jobs can be enqueued)
+// and fails everything still on it. Because enqueue checks qclosed under
+// qmu before sending, the non-blocking drain loop observes every job that
+// ever made it onto the queue.
+func (r *Run) drainQueue() {
+	r.qmu.Lock()
+	r.qclosed = true
+	r.qmu.Unlock()
+	for {
+		select {
+		case job := <-r.queue:
+			r.failJob(job)
+		default:
+			return
+		}
+	}
+}
+
+// process runs one job to completion, checking for cancellation at every
+// round boundary. The returned result carries the stats after the job's
+// last completed round. The pending gauge drops by one as each round
+// completes (so published snapshots are consistent with it); the deferred
+// correction settles whatever a cancellation or error left unrun.
+func (r *Run) process(job *ingestJob) (res ingestResult) {
+	var st Stats
+	completed := 0
+	defer func() { r.pending.Add(-int64(job.rounds - completed)) }()
+	for i := 0; i < job.rounds; i++ {
+		if err := firstErr(r.ctx.Err(), job.ctx.Err()); err != nil {
+			return ingestResult{st: st, err: &apiError{
+				code: http.StatusServiceUnavailable,
+				msg:  fmt.Sprintf("ingest stopped after %d of %d rounds: %v", i, job.rounds, err),
+			}}
+		}
+		if h := r.roundHook; h != nil {
+			h()
+		}
+		if job.batches != nil {
+			if err := r.explicitRound(job.batches); err != nil {
+				return ingestResult{st: st, err: err}
+			}
+		} else {
+			r.syntheticRound(job.src)
+		}
+		r.pending.Add(-1)
+		completed++
+		st = r.publishSnapshot()
+	}
+	return ingestResult{st: st}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// explicitRound runs one explicit-batch round on whichever sampler the
+// run hosts.
+func (r *Run) explicitRound(batches []reservoir.SliceBatch) error {
+	switch {
+	case r.cluster != nil:
+		if err := r.cluster.ProcessBatches(batches); err != nil {
+			return badRequestf("%v", err)
+		}
+		r.rounds = r.cluster.Round()
+	case r.seqW != nil:
+		r.seqW.ProcessBatch(batches[0])
+		r.rounds++
+	case r.seqU != nil:
+		r.seqU.ProcessBatch(batches[0])
+		r.rounds++
+	case r.win != nil:
+		r.win.ProcessBatch(batches[0])
+		r.rounds++
+	}
+	return nil
+}
+
+// syntheticRound runs one server-generated round.
+func (r *Run) syntheticRound(src reservoir.Source) {
+	switch {
+	case r.cluster != nil:
+		r.cluster.ProcessRound(src)
+		r.rounds = r.cluster.Round()
+	case r.seqW != nil:
+		r.seqW.ProcessBatch(src.NextBatch(0, r.rounds))
+		r.rounds++
+	case r.seqU != nil:
+		r.seqU.ProcessBatch(src.NextBatch(0, r.rounds))
+		r.rounds++
+	case r.win != nil:
+		r.win.ProcessBatch(src.NextBatch(0, r.rounds))
+		r.rounds++
+	}
+}
+
+// publishSnapshot rebuilds the run's read view — stats plus the current
+// sample — stores it atomically, and feeds the SSE subscribers. The
+// sample is collected communication-free (Cluster.SampleSnapshot / the
+// sequential samplers' Sample), so observing a run does not perturb its
+// virtual clocks or simulated traffic counters.
+func (r *Run) publishSnapshot() Stats {
+	st := r.buildStats()
+	var items []reservoir.Item
+	switch {
+	case r.cluster != nil:
+		items = r.cluster.SampleSnapshot()
+	case r.seqW != nil:
+		items = r.seqW.Sample()
+	case r.seqU != nil:
+		items = r.seqU.Sample()
+	case r.win != nil:
+		items = r.win.Sample()
+	}
+	out := make([]WireItem, len(items))
+	for i, it := range items {
+		out[i] = WireItem{W: it.W, ID: it.ID}
+	}
+	r.snap.Store(&snapshot{stats: st, items: out})
+	st.QueueLen = len(r.queue)
+	st.QueueCap = cap(r.queue)
+	st.PendingRounds = r.pending.Load()
+	r.publish(st)
+	return st
+}
+
+// buildStats snapshots the sampler's observable state. Only the worker
+// (or newRun, before the worker starts) may call it.
+func (r *Run) buildStats() Stats {
+	st := Stats{ID: r.id, Kind: r.cfg.Kind, P: r.cfg.P, Rounds: r.rounds}
+	switch {
+	case r.cluster != nil:
+		st.SampleSize = r.cluster.SampleSize()
+		st.Threshold, st.HaveThreshold = r.cluster.Threshold()
+		c := r.cluster.Counters()
+		st.ItemsProcessed = c.ItemsProcessed
+		st.Inserted = c.Inserted
+		st.Selections = c.Selections
+		st.SelectionDepth = c.SelectionRounds
+		st.VirtualTimeNS = r.cluster.VirtualTime()
+		n := r.cluster.NetworkStats()
+		st.Network = &NetworkStats{Messages: n.Messages, Words: n.Words}
+		t := r.cluster.Timing()
+		st.Timing = &TimingStats{
+			ScanNS: t.ScanNS, SelectNS: t.SelectNS,
+			ThresholdNS: t.ThresholdNS, GatherNS: t.GatherNS, TotalNS: t.TotalNS(),
+		}
+	case r.seqW != nil:
+		n, wSum := r.seqW.Seen()
+		st.ItemsProcessed = n
+		st.WeightSeen = wSum
+		st.SampleSize = int(min(int64(r.cfg.K), n))
+		st.Threshold, st.HaveThreshold = r.seqW.Threshold()
+	case r.seqU != nil:
+		n := r.seqU.Seen()
+		st.ItemsProcessed = n
+		st.SampleSize = int(min(int64(r.cfg.K), n))
+		st.Threshold, st.HaveThreshold = r.seqU.Threshold()
+	case r.win != nil:
+		st.ItemsProcessed = r.win.Seen()
+		st.SampleSize = r.win.SampleSize()
+	}
+	return st
+}

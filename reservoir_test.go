@@ -198,3 +198,44 @@ func TestWeightedSampleBiasEndToEnd(t *testing.T) {
 		t.Fatal("sample contains only heavy items; suspicious")
 	}
 }
+
+// TestSampleSnapshotMatchesSample checks the communication-free snapshot:
+// it must return the same item set as the collective Sample without
+// touching the virtual clocks or the simulated traffic counters, for both
+// the distributed algorithm and the gather baseline.
+func TestSampleSnapshotMatchesSample(t *testing.T) {
+	for _, algo := range []Algorithm{Distributed, CentralizedGather} {
+		cfg := Config{K: 64, Weighted: true, Seed: 3}
+		cl, err := NewCluster(4, cfg, WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := UniformSource{Seed: 4, BatchLen: 500, Lo: 0, Hi: 100}
+		for round := 0; round < 4; round++ {
+			cl.ProcessRound(src)
+		}
+		nsBefore := cl.NetworkStats()
+		vtBefore := cl.VirtualTime()
+		snap := cl.SampleSnapshot()
+		if ns := cl.NetworkStats(); ns != nsBefore {
+			t.Fatalf("%v: SampleSnapshot generated traffic: %+v -> %+v", algo, nsBefore, ns)
+		}
+		if vt := cl.VirtualTime(); vt != vtBefore {
+			t.Fatalf("%v: SampleSnapshot advanced virtual time: %g -> %g", algo, vtBefore, vt)
+		}
+		got := map[uint64]float64{}
+		for _, it := range snap {
+			got[it.ID] = it.W
+		}
+		want := cl.Sample()
+		if len(snap) != len(want) {
+			t.Fatalf("%v: snapshot has %d items, Sample has %d", algo, len(snap), len(want))
+		}
+		for _, it := range want {
+			if w, ok := got[it.ID]; !ok || w != it.W {
+				t.Fatalf("%v: item %d (w=%g) missing from snapshot (got w=%g, ok=%v)",
+					algo, it.ID, it.W, w, ok)
+			}
+		}
+	}
+}
