@@ -231,14 +231,35 @@ func (c *Cluster) PECounters(pe int) Counters { return c.samplers[pe].Counters()
 // PETiming returns one PE's accumulated per-phase virtual times.
 func (c *Cluster) PETiming(pe int) Timing { return c.samplers[pe].Timing() }
 
-// Snapshot serializes the whole cluster's sampler state (per-PE reservoirs,
-// threshold, PRNG states) so a sampling process can be persisted and
-// resumed bit-identically with RestoreCluster. Only the Distributed
-// algorithm supports snapshots. Virtual-time measurements and counters are
-// not part of the state and restart from zero after a restore.
+// Cluster snapshot envelope framing (format v2: adds a magic/version
+// header and per-PE operation counters to the v1 headerless layout, so
+// recovered runs report the same lifetime counters as an uninterrupted
+// run).
+const (
+	clusterSnapMagic   = uint32(0x4C435352) // "RSCL"
+	clusterSnapVersion = byte(2)
+	// maxSnapshotPEs bounds the PE count of a snapshottable cluster:
+	// Snapshot refuses larger clusters and RestoreCluster treats larger
+	// declared counts as corruption before any allocation happens, so the
+	// encoder and decoder limits always agree.
+	maxSnapshotPEs = 4096
+	// countersPerPE is the number of uint64 counter fields serialized per PE.
+	countersPerPE = 6
+)
+
+// Snapshot serializes the whole cluster's sampler state (per-PE
+// reservoirs, threshold, PRNG states, operation counters) so a sampling
+// process can be persisted and resumed bit-identically with
+// RestoreCluster. Only the Distributed algorithm supports snapshots, and
+// only up to maxSnapshotPEs PEs.
+// Virtual-time measurements are not part of the state and restart from
+// zero after a restore; operation counters round-trip.
 func (c *Cluster) Snapshot() ([]byte, error) {
 	if c.algo != Distributed {
 		return nil, fmt.Errorf("reservoir: snapshots require the Distributed algorithm")
+	}
+	if c.p > maxSnapshotPEs {
+		return nil, fmt.Errorf("reservoir: snapshots support at most %d PEs, cluster has %d", maxSnapshotPEs, c.p)
 	}
 	var buf []byte
 	var head [8]byte
@@ -248,9 +269,20 @@ func (c *Cluster) Snapshot() ([]byte, error) {
 		}
 		buf = append(buf, head[:]...)
 	}
+	buf = append(buf,
+		byte(clusterSnapMagic&0xff), byte(clusterSnapMagic>>8&0xff),
+		byte(clusterSnapMagic>>16&0xff), byte(clusterSnapMagic>>24&0xff),
+		clusterSnapVersion)
 	putU64(uint64(c.p))
 	putU64(uint64(c.round))
 	for i := 0; i < c.p; i++ {
+		cnt := c.samplers[i].Counters()
+		putU64(uint64(cnt.ItemsProcessed))
+		putU64(uint64(cnt.Inserted))
+		putU64(uint64(cnt.CandidateWords))
+		putU64(uint64(cnt.Selections))
+		putU64(uint64(cnt.SelectionRounds))
+		putU64(uint64(cnt.GatheredSelections))
 		blob, err := c.samplers[i].(*core.DistPE).MarshalBinary()
 		if err != nil {
 			return nil, err
@@ -262,7 +294,9 @@ func (c *Cluster) Snapshot() ([]byte, error) {
 }
 
 // RestoreCluster reconstructs a cluster from a Snapshot. cfg and opts must
-// match the snapshotting cluster's configuration.
+// match the snapshotting cluster's configuration. Corrupt, truncated, or
+// length-lying input is rejected with an error before any sizable
+// allocation is made.
 func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, error) {
 	getU64 := func() (uint64, error) {
 		if len(snapshot) < 8 {
@@ -275,6 +309,17 @@ func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, erro
 		snapshot = snapshot[8:]
 		return v, nil
 	}
+	if len(snapshot) < 5 {
+		return nil, fmt.Errorf("reservoir: truncated snapshot")
+	}
+	magic := uint32(snapshot[0]) | uint32(snapshot[1])<<8 | uint32(snapshot[2])<<16 | uint32(snapshot[3])<<24
+	if magic != clusterSnapMagic {
+		return nil, fmt.Errorf("reservoir: not a cluster snapshot")
+	}
+	if v := snapshot[4]; v != clusterSnapVersion {
+		return nil, fmt.Errorf("reservoir: unsupported cluster snapshot version %d", v)
+	}
+	snapshot = snapshot[5:]
 	p64, err := getU64()
 	if err != nil {
 		return nil, err
@@ -283,8 +328,14 @@ func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, erro
 	if err != nil {
 		return nil, err
 	}
-	if p64 == 0 || p64 > 1<<20 {
+	if p64 == 0 || p64 > maxSnapshotPEs {
 		return nil, fmt.Errorf("reservoir: corrupt snapshot (p = %d)", p64)
+	}
+	// Every PE needs at least its counters and blob-length prefix; check
+	// before building a p-sized cluster so a length-lying header cannot
+	// force a huge allocation.
+	if uint64(len(snapshot)) < p64*(countersPerPE+1)*8 {
+		return nil, fmt.Errorf("reservoir: truncated snapshot (%d bytes for %d PEs)", len(snapshot), p64)
 	}
 	c, err := NewCluster(int(p64), cfg, opts...)
 	if err != nil {
@@ -295,6 +346,12 @@ func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, erro
 	}
 	c.round = int(round)
 	for i := 0; i < c.p; i++ {
+		var raw [countersPerPE]uint64
+		for j := range raw {
+			if raw[j], err = getU64(); err != nil {
+				return nil, fmt.Errorf("reservoir: PE %d counters: %w", i, err)
+			}
+		}
 		n, err := getU64()
 		if err != nil {
 			return nil, err
@@ -302,9 +359,18 @@ func RestoreCluster(cfg Config, snapshot []byte, opts ...Option) (*Cluster, erro
 		if n > uint64(len(snapshot)) {
 			return nil, fmt.Errorf("reservoir: truncated snapshot at PE %d", i)
 		}
-		if err := c.samplers[i].(*core.DistPE).UnmarshalBinary(snapshot[:n]); err != nil {
+		pe := c.samplers[i].(*core.DistPE)
+		if err := pe.UnmarshalBinary(snapshot[:n]); err != nil {
 			return nil, fmt.Errorf("reservoir: PE %d: %w", i, err)
 		}
+		pe.RestoreCounters(core.Counters{
+			ItemsProcessed:     int64(raw[0]),
+			Inserted:           int64(raw[1]),
+			CandidateWords:     int64(raw[2]),
+			Selections:         int64(raw[3]),
+			SelectionRounds:    int64(raw[4]),
+			GatheredSelections: int64(raw[5]),
+		})
 		snapshot = snapshot[n:]
 	}
 	if len(snapshot) != 0 {

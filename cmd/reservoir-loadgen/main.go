@@ -10,6 +10,7 @@
 //	reservoir-loadgen -addr http://host:8080       # external server
 //	reservoir-loadgen -clients 1,4,16 -batch 1000,10000 -mode wait
 //	reservoir-loadgen -out BENCH_service_baseline.json
+//	reservoir-loadgen -data /tmp/rsv -fsync always # measure persistence overhead
 //
 // Unless -addr points at an external server, the service is hosted
 // in-process on a loopback listener: requests still cross the full HTTP
@@ -41,6 +42,7 @@ import (
 
 	"reservoir/internal/bench"
 	"reservoir/internal/service"
+	"reservoir/internal/store"
 )
 
 type config struct {
@@ -58,6 +60,8 @@ type config struct {
 	source  string
 	seed    uint64
 	queue   int
+	data    string
+	fsync   string
 }
 
 func main() {
@@ -77,6 +81,8 @@ func main() {
 	flag.StringVar(&cfg.source, "source", "synthetic", "round payload: synthetic (server-side) or explicit (JSON batches)")
 	flag.Uint64Var(&cfg.seed, "seed", 0xC0FFEE, "run seed")
 	flag.IntVar(&cfg.queue, "queue", 0, "per-run ingest queue depth (0 = server default)")
+	flag.StringVar(&cfg.data, "data", "", "persistence directory for the in-process server (empty = persistence off; ignored with -addr)")
+	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data: always, interval, or off")
 	flag.Parse()
 
 	var err error
@@ -96,7 +102,23 @@ func main() {
 	base := cfg.addr
 	inProcess := base == ""
 	if inProcess {
-		svc := service.New()
+		var opts []service.Option
+		var st *store.Store
+		if cfg.data != "" {
+			policy, err := store.ParseFsyncPolicy(cfg.fsync)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if st, err = store.Open(cfg.data, store.WithFsync(policy)); err != nil {
+				fatalf("%v", err)
+			}
+			defer st.Close()
+			opts = append(opts, service.WithStore(st))
+		}
+		svc := service.New(opts...)
+		if err := svc.Recover(); err != nil {
+			fatalf("%v", err)
+		}
 		defer svc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -106,7 +128,11 @@ func main() {
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()
-		fmt.Printf("reservoir-loadgen: in-process server on %s\n", base)
+		persist := "persistence off"
+		if cfg.data != "" {
+			persist = fmt.Sprintf("data=%s fsync=%s", cfg.data, cfg.fsync)
+		}
+		fmt.Printf("reservoir-loadgen: in-process server on %s (%s)\n", base, persist)
 	} else {
 		fmt.Printf("reservoir-loadgen: targeting %s\n", base)
 	}
@@ -119,10 +145,17 @@ func main() {
 
 	rep := bench.NewReport("reservoir-loadgen", cfg.name)
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	// -data only applies to the in-process server; against an external
+	// server the report must not claim a persistence mode it didn't test.
+	persistence := "off"
+	if inProcess && cfg.data != "" {
+		persistence = cfg.fsync
+	}
 	rep.Params = map[string]any{
 		"kind": cfg.kind, "p": cfg.p, "k": cfg.k, "runs": cfg.runs,
 		"rounds_per_client": cfg.rounds, "mode": cfg.mode, "source": cfg.source,
 		"in_process": inProcess, "seed": cfg.seed, "queue_depth": cfg.queue,
+		"persistence": persistence,
 	}
 
 	for _, nClients := range cfg.clients {

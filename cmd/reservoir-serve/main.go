@@ -5,15 +5,25 @@
 // feed. Ingest is asynchronous by default (202 + bounded per-run queues
 // with 429 backpressure; ?wait=true for synchronous rounds); reads are
 // lock-free snapshot lookups. See docs/API.md for the full API reference
-// and DESIGN.md §5 for the architecture.
+// and DESIGN.md §5-§6 for the architecture.
 //
 // Usage:
 //
 //	reservoir-serve -addr :8080 [-queue 64]
+//	reservoir-serve -data /var/lib/reservoir [-fsync interval] \
+//	    [-checkpoint-rounds 64] [-checkpoint-bytes 4194304]
+//
+// With -data, every run is durable: its config and each ingest round are
+// written to a per-run write-ahead log before the round applies, and full
+// sampler snapshots are checkpointed periodically. After a crash or
+// restart with the same -data directory, all runs recover — config, round
+// counters, and reservoir contents — and continue the identical sampling
+// stream (the PRNG state is part of the checkpoint).
 //
 // The server drains gracefully on SIGINT/SIGTERM: metric streams are
-// closed, ingest workers stop at the next round boundary, in-flight
-// requests complete, then the listener shuts down.
+// closed, ingest workers stop at the next round boundary and write a
+// final checkpoint, in-flight requests complete, then the listener shuts
+// down.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"reservoir/internal/service"
+	"reservoir/internal/store"
 )
 
 func main() {
@@ -36,6 +47,11 @@ func main() {
 	quiet := flag.Bool("quiet", false, "disable run lifecycle logging")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	queue := flag.Int("queue", 0, "default per-run ingest queue depth (0 = built-in default)")
+	data := flag.String("data", "", "persistence directory (empty = in-memory only)")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy with -data: always, interval, or off")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence for -fsync interval")
+	ckRounds := flag.Int("checkpoint-rounds", 0, "default rounds between checkpoints (0 = built-in default, negative disables)")
+	ckBytes := flag.Int64("checkpoint-bytes", 0, "default WAL bytes between checkpoints (0 = built-in default, negative disables)")
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
@@ -47,7 +63,33 @@ func main() {
 	if *queue > 0 {
 		opts = append(opts, service.WithQueueDepth(*queue))
 	}
+	if *ckRounds != 0 || *ckBytes != 0 {
+		opts = append(opts, service.WithCheckpointDefaults(*ckRounds, *ckBytes))
+	}
+
+	var st *store.Store
+	if *data != "" {
+		policy, err := store.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+			os.Exit(2)
+		}
+		st, err = store.Open(*data, store.WithFsync(policy), store.WithFsyncInterval(*fsyncEvery))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, service.WithStore(st))
+	}
+
 	svc := service.New(opts...)
+	if st != nil {
+		if err := svc.Recover(); err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+			os.Exit(1)
+		}
+		logf("store %s open (fsync=%s), %d run(s) recovered", *data, *fsync, svc.RunCount())
+	}
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           svc.Handler(),
@@ -69,7 +111,12 @@ func main() {
 	}
 
 	logf("shutting down (draining for up to %s)", *drain)
-	svc.Close() // end SSE streams so Shutdown is not held open by them
+	svc.Close() // end SSE streams, stop workers, write final checkpoints
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve: store close:", err)
+		}
+	}
 	sdCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(sdCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

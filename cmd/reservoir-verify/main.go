@@ -10,14 +10,22 @@
 //     window.
 //
 // Exit status 0 means every check passed its significance threshold.
+//
+// With -json, the results are also written as a reservoir-bench/v1 report
+// (one Result per check, metrics p_value and failed), so statistical
+// drift is diffable across PRs — CI runs a small smoke on every PR and
+// the full matrix on a weekly cron (see .github/workflows/ci.yml and
+// docs/BENCHMARKS.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"reservoir"
+	"reservoir/internal/bench"
 	"reservoir/internal/stats"
 )
 
@@ -28,16 +36,37 @@ func main() {
 	p := flag.Int("p", 4, "PEs for distributed checks")
 	alpha := flag.Float64("alpha", 1e-4, "rejection threshold (p-value)")
 	seed := flag.Uint64("seed", 7, "base seed")
+	jsonOut := flag.String("json", "", "also write a reservoir-bench/v1 report to this path")
+	name := flag.String("name", "verify_stats", "report name for -json")
 	flag.Parse()
+
+	rep := bench.NewReport("reservoir-verify", *name)
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Params = map[string]any{
+		"trials": *trials, "n": *n, "k": *k, "p": *p, "alpha": *alpha, "seed": *seed,
+	}
 
 	failures := 0
 	check := func(name string, pval float64) {
 		status := "ok"
+		failed := 0.0
 		if pval < *alpha {
 			status = "FAIL"
 			failures++
+			failed = 1
 		}
+		rep.Add(name, nil, map[string]float64{"p_value": pval, "failed": failed})
 		fmt.Printf("%-28s p=%.4g  %s\n", name, pval, status)
+	}
+	writeReport := func() {
+		if *jsonOut == "" {
+			return
+		}
+		if err := rep.WriteFile(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "writing", *jsonOut, ":", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(rep.Results), *jsonOut)
 	}
 
 	weights := func(i int) float64 { return float64(i%5) + 0.5 }
@@ -100,6 +129,7 @@ func main() {
 	}
 	check("windowed-weighted", twoSampleP(win, winOracle))
 
+	writeReport()
 	if failures > 0 {
 		fmt.Printf("\n%d check(s) FAILED\n", failures)
 		os.Exit(1)

@@ -1,0 +1,64 @@
+package reservoir
+
+import (
+	"testing"
+)
+
+// fuzzClusterCfg is the fixed configuration FuzzRestoreCluster restores
+// into; restore validates the snapshot against it, so corrupt inputs that
+// disagree with the config must error out cleanly.
+var fuzzClusterCfg = Config{K: 16, Weighted: true, Seed: 1}
+
+func clusterSnapshotSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	for _, setup := range []struct {
+		p, rounds int
+	}{
+		{1, 0}, {2, 1}, {4, 3},
+	} {
+		cl, err := NewCluster(setup.p, fuzzClusterCfg)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		src := UniformSource{Seed: 5, BatchLen: 120, Lo: 0, Hi: 100}
+		for r := 0; r < setup.rounds; r++ {
+			cl.ProcessRound(src)
+		}
+		blob, err := cl.Snapshot()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, blob)
+	}
+	return seeds
+}
+
+// FuzzRestoreCluster hammers the cluster snapshot decoder: truncated,
+// bit-flipped, and length-lying inputs must return an error — never panic
+// and never allocate a cluster larger than the input can justify. A
+// snapshot that restores successfully must snapshot again successfully
+// (the restored state is internally consistent).
+func FuzzRestoreCluster(f *testing.F) {
+	for _, s := range clusterSnapshotSeeds(f) {
+		f.Add(s)
+		f.Add(s[:len(s)*2/3])
+		flipped := append([]byte(nil), s...)
+		flipped[len(flipped)/2] ^= 0x08
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		cl, err := RestoreCluster(fuzzClusterCfg, data)
+		if err != nil {
+			return
+		}
+		if _, err := cl.Snapshot(); err != nil {
+			t.Fatalf("restored cluster cannot snapshot: %v", err)
+		}
+		// Restored state must be usable: one more round must not panic.
+		cl.ProcessRound(UniformSource{Seed: 2, BatchLen: 10, Lo: 0, Hi: 1})
+	})
+}

@@ -87,6 +87,11 @@ func (pe *DistPE) UnmarshalBinary(data []byte) error {
 	); err != nil {
 		return fmt.Errorf("core: truncated snapshot header: %w", err)
 	}
+	// Each reservoir entry is 32 bytes; a length claim the remaining input
+	// cannot back is corruption, rejected before any insertion work.
+	if resLen > uint64(r.Len())/32 {
+		return fmt.Errorf("core: corrupt snapshot (reservoir claims %d entries, %d bytes remain)", resLen, r.Len())
+	}
 	degree := pe.cfg.TreeDegree
 	if degree == 0 {
 		degree = btree.DefaultDegree
@@ -117,6 +122,9 @@ func (pe *DistPE) UnmarshalBinary(data []byte) error {
 	if err := src.UnmarshalBinary(rngState); err != nil {
 		return err
 	}
+	if r.Len() != 0 {
+		return fmt.Errorf("core: %d trailing bytes in snapshot", r.Len())
+	}
 
 	pe.res = res
 	pe.haveT = haveT != 0
@@ -131,6 +139,11 @@ func (pe *DistPE) UnmarshalBinary(data []byte) error {
 	pe.counter = Counters{}
 	return nil
 }
+
+// RestoreCounters reinstates persisted operation counters after an
+// UnmarshalBinary (which zeroes them), so a restored cluster reports the
+// same lifetime counters as the snapshotting one.
+func (pe *DistPE) RestoreCounters(c Counters) { pe.counter = c }
 
 func boolByte(b bool) byte {
 	if b {

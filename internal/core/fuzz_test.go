@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"reservoir/internal/rng"
+	"reservoir/internal/workload"
+)
+
+// seqSnapshotSeeds produces valid snapshots of both sequential samplers in
+// a few states (empty, partially filled, past the threshold), used as the
+// in-code fuzz seed corpus alongside the files under testdata/fuzz.
+func seqSnapshotSeeds(tb testing.TB) [][]byte {
+	tb.Helper()
+	var seeds [][]byte
+	addW := func(k, n int) {
+		s := NewSeqWeighted(k, rng.NewXoshiro256(7))
+		for i := 0; i < n; i++ {
+			s.Process(workload.Item{W: float64(i%13) + 0.5, ID: uint64(i)})
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, b)
+	}
+	addU := func(k, n int) {
+		s := NewSeqUniform(k, rng.NewXoshiro256(9))
+		for i := 0; i < n; i++ {
+			s.Process(workload.Item{W: 1, ID: uint64(i)})
+		}
+		b, err := s.MarshalBinary()
+		if err != nil {
+			tb.Fatal(err)
+		}
+		seeds = append(seeds, b)
+	}
+	addW(8, 0)
+	addW(8, 100)
+	addW(64, 30)
+	addU(8, 0)
+	addU(8, 100)
+	return seeds
+}
+
+// FuzzUnmarshalSeq hammers the sequential-sampler snapshot decoders with
+// arbitrary bytes: truncated, bit-flipped, and length-lying inputs must
+// return an error — never panic and never allocate beyond what the input
+// length can justify. A successfully decoded snapshot must re-marshal
+// bit-identically (decode is the inverse of encode on its image).
+func FuzzUnmarshalSeq(f *testing.F) {
+	for _, s := range seqSnapshotSeeds(f) {
+		f.Add(s)
+		f.Add(s[:len(s)/2])
+		flipped := append([]byte(nil), s...)
+		flipped[len(flipped)/3] ^= 0x20
+		f.Add(flipped)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		var w SeqWeighted
+		if err := w.UnmarshalBinary(data); err == nil {
+			out, err := w.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of accepted weighted snapshot failed: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("weighted snapshot does not round-trip (%d vs %d bytes)", len(out), len(data))
+			}
+		}
+		var u SeqUniform
+		if err := u.UnmarshalBinary(data); err == nil {
+			out, err := u.MarshalBinary()
+			if err != nil {
+				t.Fatalf("re-marshal of accepted uniform snapshot failed: %v", err)
+			}
+			if !bytes.Equal(out, data) {
+				t.Fatalf("uniform snapshot does not round-trip (%d vs %d bytes)", len(out), len(data))
+			}
+		}
+	})
+}

@@ -130,8 +130,18 @@ func unmarshalSeq(wantKind byte, data []byte) (seqState, error) {
 	}
 	st.k = int(k)
 	st.wSum = math.Float64frombits(wSumBits)
+	if wantKind == kindUniform && wSumBits != 0 {
+		// Uniform snapshots always encode wSum as 0; anything else is
+		// corruption (and would not survive a re-marshal round-trip).
+		return st, fmt.Errorf("core: corrupt snapshot (uniform sampler with wSum bits %#x)", wSumBits)
+	}
 	if st.k < 1 || heapLen > k {
 		return st, fmt.Errorf("core: corrupt snapshot (k=%d, heap=%d)", st.k, heapLen)
+	}
+	// Each heap entry is 24 bytes; reject length-lying headers before
+	// allocating the heap, so corrupt input cannot force a huge allocation.
+	if heapLen > uint64(r.Len())/24 {
+		return st, fmt.Errorf("core: corrupt snapshot (heap claims %d entries, %d bytes remain)", heapLen, r.Len())
 	}
 	st.h.keys = make([]float64, heapLen)
 	st.h.items = make([]workload.Item, heapLen)
@@ -159,6 +169,9 @@ func unmarshalSeq(wantKind byte, data []byte) (seqState, error) {
 	x := rng.NewXoshiro256(1)
 	if err := x.UnmarshalBinary(rngState); err != nil {
 		return st, err
+	}
+	if r.Len() != 0 {
+		return st, fmt.Errorf("core: %d trailing bytes in snapshot", r.Len())
 	}
 	st.src = x
 	return st, nil

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"reservoir/internal/store"
 )
 
 // Handler returns the service's HTTP routes (full reference: docs/API.md):
@@ -65,10 +67,13 @@ type ListResponse struct {
 	Runs []Stats `json:"runs"`
 }
 
-// HealthResponse is the GET /healthz response body.
+// HealthResponse is the GET /healthz response body. Store is present only
+// when the server runs with a persistence store (-data) and reports its
+// directory, fsync policy, and WAL/checkpoint counters.
 type HealthResponse struct {
-	Status string `json:"status"`
-	Runs   int    `json:"runs"`
+	Status string        `json:"status"`
+	Runs   int           `json:"runs"`
+	Store  *store.Status `json:"store,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -116,7 +121,12 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) erro
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok", Runs: s.runCount()})
+	resp := HealthResponse{Status: "ok", Runs: s.runCount()}
+	if s.store != nil {
+		st := s.store.Status()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"encoding"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"reservoir"
+	"reservoir/internal/store"
+)
+
+// Sampler-kind tags stored in snapshot files (opaque bytes to the store).
+const (
+	snapKindCluster = byte(1)
+	snapKindSeqW    = byte(2)
+	snapKindSeqU    = byte(3)
+)
+
+// snapshotable reports whether the run's sampler supports full-state
+// checkpoints. Windowed runs and gather clusters do not: they persist
+// their entire ingest history in the WAL and recover by full replay.
+func (r *Run) snapshotable() bool {
+	switch {
+	case r.cluster != nil:
+		return r.cluster.Algorithm() == reservoir.Distributed
+	case r.seqW != nil, r.seqU != nil:
+		return true
+	default:
+		return false
+	}
+}
+
+// persistRound appends the upcoming round's input to the run's WAL. Called
+// by the worker immediately before applying the round (write-ahead): a
+// crash after the append replays the round on recovery; a crash before it
+// leaves no trace of a round that never ran. Jobs rejected at the queue
+// (429) never reach this point, so backpressure leaves no dangling WAL
+// entries.
+func (r *Run) persistRound(job *ingestJob) error {
+	if r.log == nil {
+		return nil
+	}
+	rec := &store.RoundRecord{Round: uint64(r.rounds)}
+	if job.spec != nil {
+		rec.Synthetic = job.spec
+	} else {
+		// Zero-copy: store.Item aliases the sampler item, and AppendRound
+		// serializes the record before returning, so handing it the pooled
+		// batch slices is safe — the buffers are not retained.
+		rec.Batches = make([][]store.Item, len(job.batches))
+		for i, b := range job.batches {
+			rec.Batches[i] = b
+		}
+	}
+	if err := r.log.AppendRound(rec); err != nil {
+		return &apiError{
+			code: http.StatusInternalServerError,
+			msg:  fmt.Sprintf("persistence failure: %v", err),
+		}
+	}
+	return nil
+}
+
+// snapshotBlob serializes the sampler for a checkpoint. Only the worker
+// goroutine (or recovery, before the worker starts) may call it.
+func (r *Run) snapshotBlob() (byte, []byte, error) {
+	switch {
+	case r.cluster != nil:
+		blob, err := r.cluster.Snapshot()
+		return snapKindCluster, blob, err
+	case r.seqW != nil:
+		blob, err := r.seqW.MarshalBinary()
+		return snapKindSeqW, blob, err
+	case r.seqU != nil:
+		blob, err := r.seqU.MarshalBinary()
+		return snapKindSeqU, blob, err
+	default:
+		return 0, nil, fmt.Errorf("run %s cannot snapshot", r.id)
+	}
+}
+
+// checkpointDue reports whether the checkpoint cadence has tripped:
+// enough rounds or enough WAL bytes since the last checkpoint.
+func (r *Run) checkpointDue() bool {
+	if r.log == nil || !r.snapshotable() {
+		return false
+	}
+	if n := r.cfg.CheckpointRounds; n > 0 && r.rounds-r.lastCkRound >= n {
+		return true
+	}
+	if m := r.cfg.CheckpointBytes; m > 0 && r.log.WALBytes() >= m {
+		return r.rounds > r.lastCkRound
+	}
+	return false
+}
+
+// checkpoint writes a full sampler snapshot and rotates the WAL. Worker
+// goroutine only, between rounds. Checkpoint failures are reported (and
+// surfaced via the store's health status) but do not fail ingest: the WAL
+// alone still recovers the run.
+func (r *Run) checkpoint() {
+	kind, blob, err := r.snapshotBlob()
+	if err != nil {
+		r.logf("run %s: snapshot: %v", r.id, err)
+		return
+	}
+	if err := r.log.Checkpoint(&store.Snapshot{Round: uint64(r.rounds), Kind: kind, Blob: blob}); err != nil {
+		r.logf("run %s: checkpoint: %v", r.id, err)
+		return
+	}
+	r.lastCkRound = r.rounds
+}
+
+// finishPersistence runs on worker exit: unless the run is being deleted,
+// it takes a final checkpoint (so a graceful shutdown restarts from a
+// snapshot instead of a long replay) and closes the WAL handle.
+func (r *Run) finishPersistence() {
+	if r.log == nil {
+		return
+	}
+	if !r.deleted.Load() && r.snapshotable() && r.rounds > r.lastCkRound {
+		r.checkpoint()
+	}
+	if err := r.log.Close(); err != nil {
+		r.logf("run %s: closing WAL: %v", r.id, err)
+	}
+}
+
+// Recover rebuilds every persisted run from the store: config, sampler
+// state (latest checkpoint plus WAL replay), and round counters. It must
+// be called before the server starts handling requests. Runs that cannot
+// be recovered are skipped with a log line, their files left in place for
+// inspection; the store itself failing is an error.
+func (s *Server) Recover() error {
+	if s.store == nil {
+		return nil
+	}
+	ids, err := s.store.ListRuns()
+	if err != nil {
+		return fmt.Errorf("service: recover: %w", err)
+	}
+	s.mu.Lock()
+	if s.store.NextID() > s.nextID {
+		s.nextID = s.store.NextID()
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		// Never touch the files of a run that is already live (Recover
+		// called twice, or after createRun): LoadRun would truncate and
+		// re-register the WAL handle out from under its worker.
+		if _, live := s.lookup(id); live {
+			s.logf("recover run %s: already live, skipped", id)
+			continue
+		}
+		if err := s.recoverRun(id); err != nil {
+			s.logf("recover run %s: %v (skipped, files kept)", id, err)
+		}
+	}
+	return nil
+}
+
+// recoverRun rebuilds one run and starts its worker.
+func (s *Server) recoverRun(id string) error {
+	rs, rlog, err := s.store.LoadRun(id)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		rlog.Close()
+		return err
+	}
+	var cfg RunConfig
+	if err := json.Unmarshal(rs.Config, &cfg); err != nil {
+		return fail(fmt.Errorf("config: %w", err))
+	}
+	run, err := newRun(id, cfg, s.defaults())
+	if err != nil {
+		return fail(fmt.Errorf("rebuild sampler: %w", err))
+	}
+	if rs.Warning != nil {
+		s.logf("recover run %s: %v (recovering to the last consistent round)", id, rs.Warning)
+	}
+	if rs.Snapshot != nil {
+		if err := run.restoreSnapshot(rs.Snapshot); err != nil {
+			return fail(err)
+		}
+		run.lastCkRound = run.rounds
+	}
+	// Stream the WAL past the snapshot through the live ingest code paths;
+	// one record is in memory at a time, so recovery of runs that never
+	// checkpoint (windowed, gather) stays bounded.
+	replayed, warn, err := s.store.ReplayRecords(id, uint64(run.rounds), run.replayRecord)
+	if err != nil {
+		return fail(err)
+	}
+	if warn != nil {
+		// A gap or corrupt frame in the WAL proper (torn tails were already
+		// truncated by LoadRun): the segment still holds records beyond the
+		// replayed prefix, so registering the run for live append would
+		// write new rounds *behind* them, out of round order, shadowing
+		// those rounds on every future recovery. Refuse the run instead,
+		// matching LoadRun's refuse-to-reset policy; the files stay for
+		// inspection.
+		return fail(warn)
+	}
+	run.log = rlog
+	run.logf = s.logf
+	// Publish the recovered read view before the worker starts; from then
+	// on the worker owns snapshot publication.
+	run.publishSnapshot()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fail(fmt.Errorf("server is shutting down"))
+	}
+	if _, exists := s.runs[id]; exists {
+		s.mu.Unlock()
+		return fail(fmt.Errorf("run already registered"))
+	}
+	s.runs[id] = run
+	s.workers.Add(1)
+	run.start(s.shutdownCtx, s.workers.Done)
+	s.mu.Unlock()
+	s.logf("recovered run %s (%s, p=%d, rounds=%d, snapshot=%v, replayed=%d)",
+		id, run.cfg.Kind, run.cfg.P, run.rounds, rs.Snapshot != nil, replayed)
+	return nil
+}
+
+// restoreSnapshot loads a checkpoint into the freshly built sampler.
+func (r *Run) restoreSnapshot(sn *store.Snapshot) error {
+	var err error
+	switch sn.Kind {
+	case snapKindCluster:
+		if r.cluster == nil {
+			return fmt.Errorf("snapshot kind %d does not match run kind %s", sn.Kind, r.cfg.Kind)
+		}
+		rcfg, opts := clusterSetup(r.cfg)
+		var cl *reservoir.Cluster
+		if cl, err = reservoir.RestoreCluster(rcfg, sn.Blob, opts...); err == nil {
+			r.cluster = cl
+			r.rounds = cl.Round()
+		}
+	case snapKindSeqW, snapKindSeqU:
+		var u encoding.BinaryUnmarshaler
+		if sn.Kind == snapKindSeqW && r.seqW != nil {
+			u = r.seqW
+		} else if sn.Kind == snapKindSeqU && r.seqU != nil {
+			u = r.seqU
+		} else {
+			return fmt.Errorf("snapshot kind %d does not match run kind %s", sn.Kind, r.cfg.Kind)
+		}
+		if err = u.UnmarshalBinary(sn.Blob); err == nil {
+			r.rounds = int(sn.Round)
+		}
+	default:
+		return fmt.Errorf("unknown snapshot kind %d", sn.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("restore snapshot: %w", err)
+	}
+	if uint64(r.rounds) != sn.Round {
+		return fmt.Errorf("snapshot round %d, sampler state says %d", sn.Round, r.rounds)
+	}
+	return nil
+}
+
+// replayRecord re-applies one WAL round during recovery. Records replay on
+// the same code paths the live worker uses, so a recovered run is the same
+// deterministic continuation an uninterrupted run would have produced.
+func (r *Run) replayRecord(rec *store.RoundRecord) error {
+	if uint64(r.rounds) != rec.Round {
+		return fmt.Errorf("replay gap: at round %d, next record is for round %d", r.rounds, rec.Round)
+	}
+	if rec.Synthetic != nil {
+		var spec SyntheticSpec
+		if err := json.Unmarshal(rec.Synthetic, &spec); err != nil {
+			return fmt.Errorf("replay round %d: spec: %w", rec.Round, err)
+		}
+		src, err := spec.source(r.cfg)
+		if err != nil {
+			return fmt.Errorf("replay round %d: %w", rec.Round, err)
+		}
+		r.syntheticRound(src)
+		return nil
+	}
+	batches := make([]reservoir.SliceBatch, len(rec.Batches))
+	for i, b := range rec.Batches {
+		batches[i] = reservoir.SliceBatch(b)
+	}
+	if err := r.explicitRound(batches); err != nil {
+		return fmt.Errorf("replay round %d: %w", rec.Round, err)
+	}
+	return nil
+}

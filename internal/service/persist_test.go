@@ -1,0 +1,363 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"reservoir/internal/store"
+)
+
+// newPersistentServer opens a store in dir and serves on top of it,
+// recovering any persisted runs. Nothing is registered for cleanup: tests
+// that simulate a crash simply abandon the server without closing it.
+func newPersistentServer(t *testing.T, dir string) (*httptest.Server, *Server, *store.Store) {
+	t.Helper()
+	st, err := store.Open(dir, store.WithFsync(store.FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(WithStore(st))
+	if err := svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	return httptest.NewServer(svc.Handler()), svc, st
+}
+
+func getSampleIDs(t *testing.T, ts *httptest.Server, id string) []uint64 {
+	t.Helper()
+	var sr SampleResponse
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/runs/"+id+"/sample", "", &sr); code != http.StatusOK {
+		t.Fatalf("sample %s: %d %s", id, code, raw)
+	}
+	ids := make([]uint64, len(sr.Items))
+	for i, it := range sr.Items {
+		ids[i] = it.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func getStats(t *testing.T, ts *httptest.Server, id string) Stats {
+	t.Helper()
+	var st Stats
+	if code, raw := doJSON(t, "GET", ts.URL+"/v1/runs/"+id+"/stats", "", &st); code != http.StatusOK {
+		t.Fatalf("stats %s: %d %s", id, code, raw)
+	}
+	return st
+}
+
+func ingestWait(t *testing.T, ts *httptest.Server, id, body string) {
+	t.Helper()
+	if code, raw := doJSON(t, "POST", ts.URL+"/v1/runs/"+id+"/batches?wait=true", body, nil); code != http.StatusOK {
+		t.Fatalf("ingest %s: %d %s", id, code, raw)
+	}
+}
+
+// equalIDs compares two sorted ID slices.
+func equalIDs(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// persistedRunKinds is the recovery test matrix: one snapshotting cluster,
+// one WAL-only gather cluster, a sequential sampler, and a windowed
+// sampler (also WAL-only).
+var persistedRunKinds = []struct {
+	name string
+	cfg  string
+	p    int
+}{
+	{"cluster", `{"kind":"cluster","p":3,"k":48,"seed":11,"checkpoint_rounds":4}`, 3},
+	{"gather", `{"kind":"cluster","p":2,"k":32,"seed":12,"algorithm":"gather"}`, 2},
+	{"sequential", `{"kind":"sequential","k":24,"seed":13,"checkpoint_rounds":3}`, 1},
+	{"windowed", `{"kind":"windowed","k":16,"window":1200,"chunk_len":300,"seed":14}`, 1},
+}
+
+// driveSchedule pushes an identical, deterministic ingest schedule into a
+// run: explicit rounds interleaved with synthetic multi-round jobs.
+func driveSchedule(t *testing.T, ts *httptest.Server, id string, p int, phase int) {
+	t.Helper()
+	base := uint64(phase*100_000 + 1)
+	for round := 0; round < 3; round++ {
+		ingestWait(t, ts, id, makeBatches(p, 40, base+uint64(round)*1000))
+	}
+	ingestWait(t, ts, id, fmt.Sprintf(`{"synthetic":{"batch_len":150,"rounds":4,"seed":%d}}`, 77+phase))
+	ingestWait(t, ts, id, makeBatches(p, 25, base+50_000))
+}
+
+// TestCrashRecoveryEquivalence is the service-layer analogue of
+// snapshot_test.go: ingest into persisted runs, hard-stop the service (no
+// graceful shutdown, no final checkpoint), reopen the store, and require
+// every recovered run to match an uninterrupted twin — same sample IDs,
+// same round counters and stats — and to *continue* identically.
+func TestCrashRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	crashTS, _, crashStore := newPersistentServer(t, dir)
+	twinTS, _ := newTestServer(t) // in-memory twin, never interrupted
+
+	ids := make(map[string]string) // kind -> run id (same on both servers)
+	for _, k := range persistedRunKinds {
+		cr := createRun(t, crashTS, k.cfg)
+		tw := createRun(t, twinTS, k.cfg)
+		if cr.ID != tw.ID {
+			t.Fatalf("id mismatch: %s vs %s", cr.ID, tw.ID)
+		}
+		ids[k.name] = cr.ID
+	}
+	for _, k := range persistedRunKinds {
+		driveSchedule(t, crashTS, ids[k.name], k.p, 0)
+		driveSchedule(t, twinTS, ids[k.name], k.p, 0)
+	}
+
+	// Hard stop: abandon the first server entirely — no Server.Close, no
+	// final checkpoint, worker goroutines simply orphaned, exactly the
+	// on-disk state a kill -9 leaves behind (all writes that the OS
+	// already has; fsync policy only matters for power loss). Abandon
+	// releases the store's flock the way process death would.
+	crashTS.Close()
+	crashStore.Abandon()
+
+	recTS, recSvc, recStore := newPersistentServer(t, dir)
+	t.Cleanup(func() {
+		recSvc.Close()
+		recStore.Close()
+		recTS.Close()
+	})
+
+	var list ListResponse
+	if code, raw := doJSON(t, "GET", recTS.URL+"/v1/runs", "", &list); code != http.StatusOK || len(list.Runs) != len(persistedRunKinds) {
+		t.Fatalf("recovered run list: %d %s", code, raw)
+	}
+
+	for _, k := range persistedRunKinds {
+		id := ids[k.name]
+		rst, tst := getStats(t, recTS, id), getStats(t, twinTS, id)
+		if rst.Rounds != tst.Rounds || rst.ItemsProcessed != tst.ItemsProcessed ||
+			rst.SampleSize != tst.SampleSize || rst.Threshold != tst.Threshold ||
+			rst.HaveThreshold != tst.HaveThreshold || rst.Inserted != tst.Inserted {
+			t.Errorf("%s: recovered stats %+v != twin %+v", k.name, rst, tst)
+		}
+		if got, want := getSampleIDs(t, recTS, id), getSampleIDs(t, twinTS, id); !equalIDs(got, want) {
+			t.Errorf("%s: recovered sample differs from twin (%d vs %d items)", k.name, len(got), len(want))
+		}
+	}
+
+	// The recovered PRNG state must continue the same stream: more rounds
+	// on both servers keep the samples identical.
+	for _, k := range persistedRunKinds {
+		driveSchedule(t, recTS, ids[k.name], k.p, 1)
+		driveSchedule(t, twinTS, ids[k.name], k.p, 1)
+	}
+	for _, k := range persistedRunKinds {
+		id := ids[k.name]
+		if got, want := getSampleIDs(t, recTS, id), getSampleIDs(t, twinTS, id); !equalIDs(got, want) {
+			t.Errorf("%s: post-recovery ingest diverges from twin", k.name)
+		}
+		if rst, tst := getStats(t, recTS, id), getStats(t, twinTS, id); rst.Rounds != tst.Rounds || rst.ItemsProcessed != tst.ItemsProcessed {
+			t.Errorf("%s: post-recovery stats diverge: %+v vs %+v", k.name, rst, tst)
+		}
+	}
+}
+
+// TestGracefulShutdownWritesFinalCheckpoint: Close must leave every
+// snapshotable run with a checkpoint at its final round so a restart
+// replays nothing.
+func TestGracefulShutdownWritesFinalCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, st := newPersistentServer(t, dir)
+	run := createRun(t, ts, `{"kind":"cluster","p":2,"k":16,"seed":5}`)
+	ingestWait(t, ts, run.ID, `{"synthetic":{"batch_len":100,"rounds":3}}`)
+	svc.Close()
+	st.Close()
+	ts.Close()
+
+	st2, err := store.Open(dir, store.WithFsync(store.FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rs, rlog, err := st2.LoadRun(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	if rs.Snapshot == nil || rs.Snapshot.Round != 3 {
+		t.Fatalf("final checkpoint missing: %+v", rs.Snapshot)
+	}
+	n, warn, err := st2.ReplayRecords(run.ID, rs.Snapshot.Round, func(*store.RoundRecord) error { return nil })
+	if n != 0 || warn != nil || err != nil {
+		t.Fatalf("%d WAL records survive the final checkpoint (warn %v, err %v)", n, warn, err)
+	}
+}
+
+// TestDeleteRemovesDiskState: DELETE /v1/runs/{id} must remove the run's
+// on-disk directory (config, WAL, snapshots), and a subsequent recovery
+// must not resurrect the run.
+func TestDeleteRemovesDiskState(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, st := newPersistentServer(t, dir)
+	t.Cleanup(func() { svc.Close(); st.Close(); ts.Close() })
+	run := createRun(t, ts, `{"kind":"cluster","p":2,"k":16,"seed":6}`)
+	ingestWait(t, ts, run.ID, `{"synthetic":{"batch_len":50,"rounds":2}}`)
+
+	runDir := filepath.Join(dir, "runs", run.ID)
+	if _, err := os.Stat(runDir); err != nil {
+		t.Fatalf("run dir missing before delete: %v", err)
+	}
+	if code, raw := doJSON(t, "DELETE", ts.URL+"/v1/runs/"+run.ID, "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	// Disk removal happens after the worker exits; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(runDir); os.IsNotExist(err) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run dir still on disk after delete")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	svc2 := New(WithStore(st))
+	if err := svc2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Close()
+	if n := svc2.runCount(); n != 0 {
+		t.Fatalf("deleted run resurrected: %d runs recovered", n)
+	}
+}
+
+// TestQueueFullLeavesNoDanglingWAL: a batch rejected with 429 must leave
+// no WAL record — recovery must replay exactly the applied rounds. The
+// WAL append happens in the worker immediately before the round runs, so
+// the test parks the worker, fills the queue, collects a 429, and then
+// verifies the on-disk record count.
+func TestQueueFullLeavesNoDanglingWAL(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, st := newPersistentServer(t, dir)
+	// Disable checkpoints so the raw WAL records stay inspectable.
+	run := createRun(t, ts, `{"kind":"cluster","p":1,"k":8,"seed":7,"queue_depth":1,"checkpoint_rounds":-1,"checkpoint_bytes":-1}`)
+	r, _ := svc.lookup(run.ID)
+	entered, release := blockWorker(r)
+
+	base := ts.URL + "/v1/runs/" + run.ID + "/batches"
+	post := func() int {
+		resp, err := http.Post(base, "application/json", strings.NewReader(makeBatches(1, 10, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(); code != http.StatusAccepted { // job A: picked up by the worker
+		t.Fatalf("job A: %d", code)
+	}
+	<-entered                                        // worker parked before A's WAL append
+	if code := post(); code != http.StatusAccepted { // job B: sits on the queue
+		t.Fatalf("job B: %d", code)
+	}
+	if code := post(); code != http.StatusTooManyRequests { // job C: rejected
+		t.Fatalf("job C: want 429, got %d", code)
+	}
+	close(release)
+	pollStats(t, ts, run.ID, func(st Stats) bool { return st.Rounds == 2 && st.PendingRounds == 0 })
+
+	// Hard stop and inspect the WAL: exactly two records, rounds 0 and 1.
+	ts.Close()
+	st.Abandon()
+	st2, err := store.Open(dir, store.WithFsync(store.FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	rs, rlog, err := st2.LoadRun(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rlog.Close()
+	if rs.Snapshot != nil {
+		t.Fatalf("unexpected checkpoint: %+v", rs.Snapshot)
+	}
+	var rounds []uint64
+	n, warn, err := st2.ReplayRecords(run.ID, 0, func(rec *store.RoundRecord) error {
+		rounds = append(rounds, rec.Round)
+		return nil
+	})
+	if err != nil || warn != nil {
+		t.Fatalf("replay: %v / %v", err, warn)
+	}
+	if n != 2 || rounds[0] != 0 || rounds[1] != 1 {
+		t.Fatalf("WAL has %d records (%v), want exactly the 2 applied rounds", n, rounds)
+	}
+}
+
+// TestCloseWaitsForDeleteCleanup: a DELETE acknowledged before shutdown
+// must have its disk removal completed by the time Close returns, so the
+// deleted run cannot resurrect on the next recovery.
+func TestCloseWaitsForDeleteCleanup(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, st := newPersistentServer(t, dir)
+	run := createRun(t, ts, `{"kind":"cluster","p":2,"k":8,"seed":8}`)
+	ingestWait(t, ts, run.ID, `{"synthetic":{"batch_len":50,"rounds":2}}`)
+	if code, raw := doJSON(t, "DELETE", ts.URL+"/v1/runs/"+run.ID, "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	svc.Close() // must block until the run dir is gone
+	st.Close()
+	ts.Close()
+	if _, err := os.Stat(filepath.Join(dir, "runs", run.ID)); !os.IsNotExist(err) {
+		t.Fatalf("deleted run dir survives Close: %v", err)
+	}
+}
+
+// TestCheckpointDefaultsPartialOverride: overriding only one trigger via
+// WithCheckpointDefaults keeps the other at its built-in default instead
+// of silently disabling it.
+func TestCheckpointDefaultsPartialOverride(t *testing.T) {
+	svc := New(WithCheckpointDefaults(128, 0))
+	defer svc.Close()
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	run := createRun(t, ts, `{"kind":"cluster","p":1,"k":4,"seed":1}`)
+	if run.Config.CheckpointRounds != 128 || run.Config.CheckpointBytes != defaultCkBytes {
+		t.Fatalf("defaults: rounds=%d bytes=%d, want 128/%d",
+			run.Config.CheckpointRounds, run.Config.CheckpointBytes, int64(defaultCkBytes))
+	}
+}
+
+// TestHealthzReportsStore: the health endpoint surfaces the store
+// directory, fsync policy, and WAL counters when persistence is on.
+func TestHealthzReportsStore(t *testing.T) {
+	dir := t.TempDir()
+	ts, svc, st := newPersistentServer(t, dir)
+	t.Cleanup(func() { svc.Close(); st.Close(); ts.Close() })
+	run := createRun(t, ts, `{"kind":"sequential","k":8,"seed":9}`)
+	ingestWait(t, ts, run.ID, `{"synthetic":{"batch_len":20,"rounds":2}}`)
+
+	var hr HealthResponse
+	if code, raw := doJSON(t, "GET", ts.URL+"/healthz", "", &hr); code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, raw)
+	}
+	if hr.Store == nil {
+		t.Fatal("healthz has no store section")
+	}
+	if hr.Store.Dir != dir || hr.Store.Fsync != "off" || hr.Store.WALAppends != 2 || hr.Store.Runs != 1 {
+		t.Fatalf("store status: %+v", hr.Store)
+	}
+}

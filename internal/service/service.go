@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"reservoir"
+	"reservoir/internal/store"
 )
 
 // Limits guarding the HTTP surface.
@@ -94,6 +95,16 @@ type RunConfig struct {
 	// QueueDepth bounds this run's ingest queue (jobs, not rounds);
 	// 0 uses the server default. A full queue rejects ingest with 429.
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// CheckpointRounds and CheckpointBytes schedule full snapshot
+	// checkpoints when the server runs with a persistence store (-data):
+	// the run's worker snapshots the sampler after a round when at least
+	// CheckpointRounds rounds or CheckpointBytes WAL bytes have
+	// accumulated since the last checkpoint, whichever comes first.
+	// 0 uses the server defaults; a negative value disables that trigger.
+	// Ignored without a store, and for run kinds that cannot snapshot
+	// (windowed runs and gather clusters recover by full WAL replay).
+	CheckpointRounds int   `json:"checkpoint_rounds,omitempty"`
+	CheckpointBytes  int64 `json:"checkpoint_bytes,omitempty"`
 }
 
 // IngestRequest is the JSON body of POST /v1/runs/{id}/batches: either
@@ -223,6 +234,17 @@ type Run struct {
 	// snap is the atomically published read view (never nil after newRun).
 	snap atomic.Pointer[snapshot]
 
+	// Persistence (nil/zero without a store). log is the run's WAL handle;
+	// only the worker goroutine (and recovery, before the worker starts)
+	// touches it. lastCkRound is the round of the last durable checkpoint;
+	// deleted tells the exiting worker to skip the final checkpoint
+	// because the run's on-disk state is about to be removed.
+	log         *store.RunLog
+	lastCkRound int
+	deleted     atomic.Bool
+	// logf reports persistence problems from the worker (never nil).
+	logf func(format string, args ...any)
+
 	// roundHook, when non-nil, runs before each round on the worker
 	// goroutine. Test-only: lets tests hold the worker busy
 	// deterministically.
@@ -235,18 +257,52 @@ type Run struct {
 	closed bool
 }
 
+// runDefaults are the server-level fallbacks newRun fills into a RunConfig.
+type runDefaults struct {
+	queueDepth int
+	ckRounds   int
+	ckBytes    int64
+}
+
+// clusterSetup translates a RunConfig into the library-level cluster
+// configuration; recovery reuses it to rebuild a cluster from a snapshot.
+func clusterSetup(cfg RunConfig) (reservoir.Config, []reservoir.Option) {
+	rcfg := reservoir.Config{
+		K:              cfg.K,
+		KMin:           cfg.KMin,
+		KMax:           cfg.KMax,
+		Weighted:       !cfg.Uniform,
+		Strategy:       cfg.Strategy,
+		Pivots:         cfg.Pivots,
+		LocalThreshold: cfg.LocalThreshold,
+		BlockedSkip:    cfg.BlockedSkip,
+		Seed:           cfg.Seed,
+	}
+	opts := []reservoir.Option{reservoir.WithAlgorithm(cfg.Algorithm)}
+	if cfg.AlphaNS > 0 || cfg.BetaNS > 0 {
+		opts = append(opts, reservoir.WithNetworkCost(cfg.AlphaNS, cfg.BetaNS))
+	}
+	return rcfg, opts
+}
+
 // newRun validates cfg and builds the sampler.
-func newRun(id string, cfg RunConfig, queueDepth int) (*Run, error) {
+func newRun(id string, cfg RunConfig, d runDefaults) (*Run, error) {
 	if cfg.Kind == "" {
 		cfg.Kind = KindCluster
 	}
 	if cfg.QueueDepth == 0 {
-		cfg.QueueDepth = queueDepth
+		cfg.QueueDepth = d.queueDepth
 	}
 	if cfg.QueueDepth < 1 || cfg.QueueDepth > maxQueueDepth {
 		return nil, badRequestf("queue_depth must be in [1, %d], got %d", maxQueueDepth, cfg.QueueDepth)
 	}
-	r := &Run{id: id, subs: make(map[chan []byte]struct{})}
+	if cfg.CheckpointRounds == 0 {
+		cfg.CheckpointRounds = d.ckRounds
+	}
+	if cfg.CheckpointBytes == 0 {
+		cfg.CheckpointBytes = d.ckBytes
+	}
+	r := &Run{id: id, subs: make(map[chan []byte]struct{}), logf: func(string, ...any) {}}
 	switch cfg.Kind {
 	case KindCluster:
 		if cfg.Window != 0 || cfg.ChunkLen != 0 {
@@ -258,21 +314,7 @@ func newRun(id string, cfg RunConfig, queueDepth int) (*Run, error) {
 		if cfg.P < 1 || cfg.P > maxPEs {
 			return nil, badRequestf("p must be in [1, %d], got %d", maxPEs, cfg.P)
 		}
-		rcfg := reservoir.Config{
-			K:              cfg.K,
-			KMin:           cfg.KMin,
-			KMax:           cfg.KMax,
-			Weighted:       !cfg.Uniform,
-			Strategy:       cfg.Strategy,
-			Pivots:         cfg.Pivots,
-			LocalThreshold: cfg.LocalThreshold,
-			BlockedSkip:    cfg.BlockedSkip,
-			Seed:           cfg.Seed,
-		}
-		opts := []reservoir.Option{reservoir.WithAlgorithm(cfg.Algorithm)}
-		if cfg.AlphaNS > 0 || cfg.BetaNS > 0 {
-			opts = append(opts, reservoir.WithNetworkCost(cfg.AlphaNS, cfg.BetaNS))
-		}
+		rcfg, opts := clusterSetup(cfg)
 		cl, err := reservoir.NewCluster(cfg.P, rcfg, opts...)
 		if err != nil {
 			return nil, badRequestf("%v", err)
@@ -410,8 +452,16 @@ type Server struct {
 	shutdown    context.CancelFunc
 	closeOnce   sync.Once
 	workers     sync.WaitGroup
+	cleanups    sync.WaitGroup // deleted runs' pending disk removals
 	queueDepth  int
 	logf        func(format string, args ...any)
+
+	// store, when non-nil, persists every run (config + WAL + checkpoints)
+	// under a data directory; ckRounds/ckBytes are the server-default
+	// checkpoint cadence (RunConfig may override per run).
+	store    *store.Store
+	ckRounds int
+	ckBytes  int64
 }
 
 // Option customizes New.
@@ -432,11 +482,46 @@ func WithQueueDepth(n int) Option {
 	}
 }
 
-// New returns an empty service.
+// WithStore enables persistence: every run's config, ingest rounds (WAL),
+// and periodic sampler checkpoints are written under the store's data
+// directory, and Recover rebuilds all runs from it after a restart. The
+// caller retains ownership of st and closes it after Server.Close.
+func WithStore(st *store.Store) Option {
+	return func(s *Server) { s.store = st }
+}
+
+// WithCheckpointDefaults sets the server-default checkpoint cadence:
+// snapshot a run after at least `rounds` ingest rounds or `bytes` WAL
+// bytes since its last checkpoint, whichever trips first. A zero keeps
+// that trigger's built-in default (64 rounds / 4 MiB); a negative value
+// disables the trigger. RunConfig's checkpoint_rounds/checkpoint_bytes
+// override per run with the same convention.
+func WithCheckpointDefaults(rounds int, bytes int64) Option {
+	return func(s *Server) {
+		if rounds != 0 {
+			s.ckRounds = rounds
+		}
+		if bytes != 0 {
+			s.ckBytes = bytes
+		}
+	}
+}
+
+// Default checkpoint cadence with a store: snapshot after 64 rounds or
+// 4 MiB of WAL, whichever trips first.
+const (
+	defaultCkRounds = 64
+	defaultCkBytes  = 4 << 20
+)
+
+// New returns an empty service. With WithStore, call Recover before
+// serving to rebuild persisted runs.
 func New(opts ...Option) *Server {
 	s := &Server{
 		runs:       make(map[string]*Run),
 		queueDepth: defaultQueueSize,
+		ckRounds:   defaultCkRounds,
+		ckBytes:    defaultCkBytes,
 		logf:       func(string, ...any) {},
 	}
 	s.shutdownCtx, s.shutdown = context.WithCancel(context.Background())
@@ -444,6 +529,11 @@ func New(opts ...Option) *Server {
 		o(s)
 	}
 	return s
+}
+
+// defaults bundles the server-level RunConfig fallbacks.
+func (s *Server) defaults() runDefaults {
+	return runDefaults{queueDepth: s.queueDepth, ckRounds: s.ckRounds, ckBytes: s.ckBytes}
 }
 
 // Close ends all SSE streams, stops every ingest worker at the next round
@@ -465,6 +555,7 @@ func (s *Server) Close() {
 			r.closeSubs()
 		}
 		s.workers.Wait()
+		s.cleanups.Wait()
 	})
 }
 
@@ -478,20 +569,47 @@ func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 	}
 	s.nextID++
 	id := fmt.Sprintf("r%d", s.nextID)
+	nextID := s.nextID
 	s.mu.Unlock()
 
-	run, err := newRun(id, cfg, s.queueDepth)
+	run, err := newRun(id, cfg, s.defaults())
 	if err != nil {
 		return nil, err
 	}
+	run.logf = s.logf
+	if s.store != nil {
+		// Persist the ID allocation first (IDs are never reused, even
+		// across restarts), then the run's on-disk state. The normalized
+		// config is what recovery rebuilds the sampler from.
+		if err := s.store.SetNextID(nextID); err != nil {
+			return nil, &apiError{code: http.StatusInternalServerError, msg: fmt.Sprintf("persistence failure: %v", err)}
+		}
+		cfgJSON, err := json.Marshal(run.cfg)
+		if err != nil {
+			return nil, &apiError{code: http.StatusInternalServerError, msg: fmt.Sprintf("persistence failure: %v", err)}
+		}
+		run.log, err = s.store.CreateRun(id, cfgJSON)
+		if err != nil {
+			return nil, &apiError{code: http.StatusInternalServerError, msg: fmt.Sprintf("persistence failure: %v", err)}
+		}
+	}
 
+	// discard undoes the on-disk state if the run cannot be registered.
+	discard := func() {
+		if run.log != nil {
+			run.log.Close()
+			s.store.DeleteRun(id)
+		}
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		discard()
 		return nil, &apiError{code: http.StatusServiceUnavailable, msg: "server is shutting down"}
 	}
 	if len(s.runs) >= maxRuns {
 		s.mu.Unlock()
+		discard()
 		return nil, &apiError{
 			code: http.StatusTooManyRequests,
 			msg:  fmt.Sprintf("run limit (%d) reached; delete a run first", maxRuns),
@@ -515,19 +633,48 @@ func (s *Server) lookup(id string) (*Run, bool) {
 
 // deleteRun removes a run, stops its worker (failing any queued jobs), and
 // ends its metric streams. It does not wait for the worker: an in-flight
-// round finishes in the background at its own pace.
+// round finishes in the background at its own pace. With a store, the
+// run's on-disk state (config, WAL, checkpoints) is removed as soon as the
+// worker has exited and released its log.
 func (s *Server) deleteRun(id string) bool {
 	s.mu.Lock()
 	r, ok := s.runs[id]
 	if ok {
 		delete(s.runs, id)
 	}
+	// Register the disk cleanup while still holding mu: Close sets closed
+	// under mu before it calls cleanups.Wait, so Add here can never race
+	// that Wait (the WaitGroup contract), and Close always waits for every
+	// registered removal — a run the API confirmed deleted must not
+	// resurrect from leftover files on the next recovery.
+	async := ok && s.store != nil && r.log != nil && !s.closed
+	if async {
+		s.cleanups.Add(1)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return false
 	}
+	r.deleted.Store(true)
 	r.cancel()
 	r.closeSubs()
+	removeDisk := func() {
+		<-r.workerDone // the worker closes the log on exit
+		if err := s.store.DeleteRun(id); err != nil {
+			s.logf("delete run %s disk state: %v", id, err)
+		}
+	}
+	switch {
+	case async:
+		go func() {
+			defer s.cleanups.Done()
+			removeDisk()
+		}()
+	case s.store != nil && r.log != nil:
+		// Close is already draining: remove synchronously on this handler
+		// goroutine (the worker exits promptly on the canceled context).
+		removeDisk()
+	}
 	s.logf("deleted run %s", id)
 	return true
 }
@@ -555,3 +702,7 @@ func (s *Server) runCount() int {
 	defer s.mu.RUnlock()
 	return len(s.runs)
 }
+
+// RunCount returns the number of live runs (e.g. to report how many were
+// recovered at startup).
+func (s *Server) RunCount() int { return s.runCount() }

@@ -11,9 +11,13 @@ import (
 // the sampler. It pulls jobs off the bounded queue, runs them one whole
 // round at a time, publishes a fresh snapshot after every round, and on
 // cancellation (run deletion or server shutdown) fails all still-queued
-// jobs so no waiter is left hanging.
+// jobs so no waiter is left hanging. When the run is persisted, the worker
+// also owns all of its disk state: the write-ahead append before each
+// round, the checkpoint cadence, the final shutdown checkpoint, and the
+// WAL handle's release — persistence never adds a lock to the ingest path.
 func (r *Run) work() {
 	defer close(r.workerDone)
+	defer r.finishPersistence()
 	for {
 		select {
 		case <-r.ctx.Done():
@@ -88,6 +92,12 @@ func (r *Run) process(job *ingestJob) (res ingestResult) {
 		if h := r.roundHook; h != nil {
 			h()
 		}
+		// Write-ahead: the round's input must be durable in the WAL before
+		// it mutates the sampler. A job the queue rejected (429) never gets
+		// here, so backpressure leaves no dangling record.
+		if err := r.persistRound(job); err != nil {
+			return ingestResult{st: st, err: err}
+		}
 		if job.batches != nil {
 			if err := r.explicitRound(job.batches); err != nil {
 				return ingestResult{st: st, err: err}
@@ -98,6 +108,9 @@ func (r *Run) process(job *ingestJob) (res ingestResult) {
 		r.pending.Add(-1)
 		completed++
 		st = r.publishSnapshot()
+		if r.checkpointDue() {
+			r.checkpoint()
+		}
 	}
 	return ingestResult{st: st}
 }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// Non-unix platforms have no flock; the store runs unlocked there.
+func acquireDirLock(string) (*os.File, error) { return nil, nil }
+
+func releaseDirLock(*os.File) {}

@@ -1,0 +1,35 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// acquireDirLock takes an exclusive advisory lock on <dir>/LOCK so two
+// processes cannot append to the same store concurrently (interleaved WAL
+// frames and dueling manifests would scramble recovery). flock releases
+// automatically when the process dies, so a crash never leaves a stale
+// lock.
+func acquireDirLock(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is already in use by another process", dir)
+	}
+	return f, nil
+}
+
+func releaseDirLock(f *os.File) {
+	if f == nil {
+		return
+	}
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	f.Close()
+}

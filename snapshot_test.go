@@ -61,6 +61,43 @@ func TestClusterSnapshotResumesIdentically(t *testing.T) {
 	}
 }
 
+func TestSnapshotRoundTripsCounters(t *testing.T) {
+	// Format v2 carries per-PE operation counters, so a recovered run's
+	// stats (items processed, insertions, selection depths) match an
+	// uninterrupted run's.
+	cfg := Config{K: 50, Weighted: true, Seed: 11}
+	cl, err := NewCluster(4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := UniformSource{Seed: 3, BatchLen: 400, Lo: 0, Hi: 100}
+	for round := 0; round < 4; round++ {
+		cl.ProcessRound(src)
+	}
+	blob, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreCluster(cfg, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := restored.Counters(), cl.Counters(); got != want {
+		t.Fatalf("counters differ after restore: %+v vs %+v", got, want)
+	}
+	for pe := 0; pe < cl.P(); pe++ {
+		if got, want := restored.PECounters(pe), cl.PECounters(pe); got != want {
+			t.Fatalf("PE %d counters differ: %+v vs %+v", pe, got, want)
+		}
+	}
+	// And the counters keep accumulating identically afterwards.
+	cl.ProcessRound(src)
+	restored.ProcessRound(src)
+	if got, want := restored.Counters(), cl.Counters(); got != want {
+		t.Fatalf("counters diverge after resume: %+v vs %+v", got, want)
+	}
+}
+
 func TestSnapshotBeforeThreshold(t *testing.T) {
 	// Snapshot during the fill phase (no threshold yet).
 	cfg := Config{K: 1000, Weighted: true, Seed: 9}
