@@ -6,6 +6,7 @@ import (
 	"reservoir/internal/coll"
 	"reservoir/internal/core"
 	"reservoir/internal/simnet"
+	"reservoir/internal/transport"
 	"reservoir/internal/workload"
 )
 
@@ -59,8 +60,30 @@ func (a *Algorithm) UnmarshalText(text []byte) error {
 	return nil
 }
 
-// NetworkStats reports simulated network traffic.
-type NetworkStats = simnet.Stats
+// NetworkStats reports a cluster's network traffic, populated from
+// whichever transport backend the sampler runs on. On the in-process
+// simulator Words is the α+βℓ cost-model word count and Bytes is Words*8;
+// on a real network (see reservoir-serve's node mode) Words is the same
+// cost-model count declared by the senders and Bytes is the actual encoded
+// payload volume on the wire.
+type NetworkStats struct {
+	// Messages is the number of point-to-point messages sent.
+	Messages int64
+	// Words is the cost-model size of all messages in 8-byte machine words.
+	Words int64
+	// Bytes is the payload volume in bytes (Words*8 when simulated).
+	Bytes int64
+}
+
+// statsFromTransport converts transport-level counters to the public type.
+func statsFromTransport(s transport.Stats) NetworkStats {
+	return NetworkStats{Messages: s.Messages, Words: s.Words, Bytes: s.Bytes}
+}
+
+// The simulator's PE is a transport.Conn: the collectives (and therefore
+// the samplers) run on the interface, and the simulated backend needs no
+// adapter.
+var _ transport.Conn = (*simnet.PE)(nil)
 
 // Cluster runs a distributed reservoir sampler over p simulated PEs.
 // All per-round methods drive every PE concurrently (one goroutine each)
@@ -204,7 +227,10 @@ func (c *Cluster) VirtualTime() float64 { return c.sim.MaxClock() }
 func (c *Cluster) ResetClocks() { c.sim.ResetClocks() }
 
 // NetworkStats returns cluster-wide message and word counters.
-func (c *Cluster) NetworkStats() NetworkStats { return c.sim.Stats() }
+func (c *Cluster) NetworkStats() NetworkStats {
+	s := c.sim.Stats()
+	return NetworkStats{Messages: s.Messages, Words: s.Words, Bytes: s.Words * 8}
+}
 
 // Timing returns the per-phase maximum over all PEs of the accumulated
 // virtual phase times (the cluster-level composition of Figure 6).

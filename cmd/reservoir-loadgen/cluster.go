@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"reservoir/internal/bench"
+	"reservoir/internal/nodesvc"
+	"reservoir/internal/service"
+)
+
+// runClusterBench drives a live multi-process cluster (reservoir-serve
+// node mode) through its rank-0 control API: one round per request, wall
+// clock latency per round, and the cluster-wide traffic deltas from the
+// stats endpoint. With -sample-out it additionally fetches the merged
+// sample and writes a dump that reservoir-verify -match can replay on the
+// simulator — the end-to-end determinism check of the multi-process path.
+func runClusterBench(cfg config) {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	base := cfg.cluster
+
+	initial := clusterStats(client, base)
+	fmt.Printf("reservoir-loadgen: cluster at %s: p=%d k=%d algo=%s seed=%d rounds=%d\n",
+		base, initial.P, initial.K, initial.Algorithm, initial.Seed, initial.Rounds)
+	if cfg.sampleOut != "" {
+		if len(cfg.batch) != 1 {
+			fatalf("-sample-out needs a single -batch value (the dump replays one uniform stream), got %d", len(cfg.batch))
+		}
+		if initial.Rounds != 0 {
+			fatalf("-sample-out needs a fresh cluster (rounds=0), this one already ran %d rounds", initial.Rounds)
+		}
+	}
+
+	rep := bench.NewReport("reservoir-loadgen", cfg.name)
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Params = map[string]any{
+		"mode": "cluster", "p": initial.P, "k": initial.K,
+		"algo": initial.Algorithm.String(), "seed": initial.Seed,
+		"uniform": initial.Uniform, "rounds_per_point": cfg.rounds,
+	}
+
+	var lastSpec service.SyntheticSpec
+	for _, batch := range cfg.batch {
+		before := clusterStats(client, base)
+		spec := service.SyntheticSpec{BatchLen: batch, Rounds: 1}
+		lastSpec = spec
+		body, _ := json.Marshal(map[string]any{"synthetic": spec})
+
+		durs := make([]time.Duration, 0, cfg.rounds)
+		start := time.Now()
+		for r := 0; r < cfg.rounds; r++ {
+			t0 := time.Now()
+			resp, err := client.Post(base+"/v1/cluster/rounds", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fatalf("round %d: %v", r, err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fatalf("round %d: %s: %s", r, resp.Status, data)
+			}
+			durs = append(durs, time.Since(t0))
+		}
+		elapsed := time.Since(start)
+		after := clusterStats(client, base)
+
+		rounds := after.Rounds - before.Rounds
+		items := after.ItemsProcessed - before.ItemsProcessed
+		m := map[string]float64{
+			"throughput_items_per_s": float64(items) / elapsed.Seconds(),
+			"rounds_per_s":           float64(rounds) / elapsed.Seconds(),
+			"wall_s":                 elapsed.Seconds(),
+			"requests":               float64(len(durs)),
+			"messages":               float64(after.Network.Messages - before.Network.Messages),
+			"words":                  float64(after.Network.Words - before.Network.Words),
+			"net_bytes":              float64(after.Network.Bytes - before.Network.Bytes),
+			"messages_per_round":     perRoundF(after.Network.Messages-before.Network.Messages, rounds),
+			"words_per_round":        perRoundF(after.Network.Words-before.Network.Words, rounds),
+			"selection_rounds":       float64(after.SelectionRounds - before.SelectionRounds),
+		}
+		bench.Summarize(durs).Metrics("latency", m)
+		name := fmt.Sprintf("batch=%d", batch)
+		rep.Add(name, map[string]any{"batch": batch, "rounds": cfg.rounds}, m)
+		fmt.Printf("%-20s %12.0f items/s  p50 %7.2fms  p95 %7.2fms  %8.0f msgs (%d rounds)\n",
+			name, m["throughput_items_per_s"], m["latency_p50_ms"], m["latency_p95_ms"],
+			m["messages"], rounds)
+	}
+
+	if cfg.sampleOut != "" {
+		writeSampleDump(client, base, cfg.sampleOut, lastSpec)
+	}
+	if err := rep.WriteFile(cfg.out); err != nil {
+		fatalf("writing %s: %v", cfg.out, err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(rep.Results), cfg.out)
+}
+
+// writeSampleDump captures the cluster's merged sample plus everything a
+// replay needs into one self-describing file.
+func writeSampleDump(client *http.Client, base, path string, spec service.SyntheticSpec) {
+	st := clusterStats(client, base)
+	resp, err := client.Get(base + "/v1/cluster/sample")
+	if err != nil {
+		fatalf("fetching sample: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		fatalf("fetching sample: %s: %s", resp.Status, data)
+	}
+	var sr nodesvc.SampleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		fatalf("decoding sample: %v", err)
+	}
+	dump := nodesvc.SampleDump{
+		P:         st.P,
+		K:         st.K,
+		Algorithm: st.Algorithm,
+		Uniform:   st.Uniform,
+		Seed:      st.Seed,
+		Rounds:    st.Rounds,
+		Synthetic: spec,
+		Sample:    sr.Items,
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		fatalf("encoding sample dump: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("writing %s: %v", path, err)
+	}
+	fmt.Printf("wrote %d-item sample dump to %s (verify with: reservoir-verify -match %s)\n",
+		len(sr.Items), path, path)
+}
+
+func clusterStats(client *http.Client, base string) nodesvc.Stats {
+	resp, err := client.Get(base + "/v1/cluster/stats")
+	if err != nil {
+		fatalf("cluster stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		fatalf("cluster stats: %s: %s", resp.Status, data)
+	}
+	var st nodesvc.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fatalf("decoding cluster stats: %v", err)
+	}
+	return st
+}
+
+func perRoundF(v int64, rounds int) float64 {
+	if rounds == 0 {
+		return 0
+	}
+	return float64(v) / float64(rounds)
+}

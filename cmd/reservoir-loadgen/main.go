@@ -46,31 +46,36 @@ import (
 )
 
 type config struct {
-	addr    string
-	out     string
-	name    string
-	kind    string
-	p       int
-	k       int
-	runs    int
-	clients []int
-	batch   []int
-	rounds  int
-	mode    string
-	source  string
-	seed    uint64
-	queue   int
-	data    string
-	fsync   string
+	addr      string
+	cluster   string
+	out       string
+	name      string
+	kind      string
+	algo      string
+	p         int
+	k         int
+	runs      int
+	clients   []int
+	batch     []int
+	rounds    int
+	mode      string
+	source    string
+	seed      uint64
+	queue     int
+	data      string
+	fsync     string
+	sampleOut string
 }
 
 func main() {
 	var cfg config
 	var clientsFlag, batchFlag string
 	flag.StringVar(&cfg.addr, "addr", "", "target server base URL (default: host the service in-process)")
+	flag.StringVar(&cfg.cluster, "cluster", "", "drive a multi-process cluster: base URL of the rank-0 node (reservoir-serve -peers)")
 	flag.StringVar(&cfg.out, "out", "BENCH_service_baseline.json", "output report path")
 	flag.StringVar(&cfg.name, "name", "service_baseline", "report name")
 	flag.StringVar(&cfg.kind, "kind", "cluster", "run kind: cluster|sequential|windowed")
+	flag.StringVar(&cfg.algo, "algo", "ours", "sampling algorithm for cluster runs: ours (distributed) or gather (centralized baseline)")
 	flag.IntVar(&cfg.p, "p", 4, "PEs per cluster run")
 	flag.IntVar(&cfg.k, "k", 256, "sample size per run")
 	flag.IntVar(&cfg.runs, "runs", 2, "concurrent runs (shards) per configuration")
@@ -83,6 +88,7 @@ func main() {
 	flag.IntVar(&cfg.queue, "queue", 0, "per-run ingest queue depth (0 = server default)")
 	flag.StringVar(&cfg.data, "data", "", "persistence directory for the in-process server (empty = persistence off; ignored with -addr)")
 	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data: always, interval, or off")
+	flag.StringVar(&cfg.sampleOut, "sample-out", "", "with -cluster: write the merged sample as a verifiable dump for reservoir-verify -match")
 	flag.Parse()
 
 	var err error
@@ -97,6 +103,17 @@ func main() {
 	}
 	if cfg.source != "synthetic" && cfg.source != "explicit" {
 		fatalf("-source must be synthetic or explicit, got %q", cfg.source)
+	}
+	if cfg.algo != "ours" && cfg.algo != "gather" {
+		fatalf("-algo must be ours or gather, got %q", cfg.algo)
+	}
+	if cfg.sampleOut != "" && cfg.cluster == "" {
+		fatalf("-sample-out requires -cluster")
+	}
+
+	if cfg.cluster != "" {
+		runClusterBench(cfg)
+		return
 	}
 
 	base := cfg.addr
@@ -152,7 +169,7 @@ func main() {
 		persistence = cfg.fsync
 	}
 	rep.Params = map[string]any{
-		"kind": cfg.kind, "p": cfg.p, "k": cfg.k, "runs": cfg.runs,
+		"kind": cfg.kind, "algo": cfg.algo, "p": cfg.p, "k": cfg.k, "runs": cfg.runs,
 		"rounds_per_client": cfg.rounds, "mode": cfg.mode, "source": cfg.source,
 		"in_process": inProcess, "seed": cfg.seed, "queue_depth": cfg.queue,
 		"persistence": persistence,
@@ -301,6 +318,7 @@ func createRun(client *http.Client, base string, cfg config, i int) string {
 	rc := map[string]any{"kind": cfg.kind, "k": cfg.k, "seed": cfg.seed + uint64(i)}
 	if cfg.kind == "cluster" {
 		rc["p"] = cfg.p
+		rc["algorithm"] = cfg.algo
 	}
 	if cfg.queue > 0 {
 		rc["queue_depth"] = cfg.queue

@@ -13,6 +13,17 @@
 //	reservoir-serve -data /var/lib/reservoir [-fsync interval] \
 //	    [-checkpoint-rounds 64] [-checkpoint-bytes 4194304]
 //
+// With -peers, the server instead runs in node mode: it becomes one PE of
+// a real multi-process sampling cluster. Every process is started with the
+// same rank-indexed peer list and its own -peer-id; the processes form a
+// TCP mesh and execute the paper's Distributed (or CentralizedGather)
+// algorithm collectively across the network, with rank 0 exposing the
+// cluster control API (POST /v1/cluster/rounds, GET /v1/cluster/sample,
+// GET /v1/cluster/stats, POST /v1/cluster/shutdown — see docs/DEPLOY.md):
+//
+//	reservoir-serve -peer-id 0 -peers host0:9000,host1:9000 -k 256 -seed 1
+//	reservoir-serve -peer-id 1 -peers host0:9000,host1:9000 -k 256 -seed 1
+//
 // With -data, every run is durable: its config and each ingest round are
 // written to a per-run write-ahead log before the round applies, and full
 // sampler snapshots are checkpointed periodically. After a crash or
@@ -35,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -52,11 +64,41 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "fsync cadence for -fsync interval")
 	ckRounds := flag.Int("checkpoint-rounds", 0, "default rounds between checkpoints (0 = built-in default, negative disables)")
 	ckBytes := flag.Int64("checkpoint-bytes", 0, "default WAL bytes between checkpoints (0 = built-in default, negative disables)")
+	peerID := flag.Int("peer-id", -1, "node mode: this process's rank in the -peers list")
+	peers := flag.String("peers", "", "node mode: comma-separated rank-indexed peer list (host:port,...)")
+	nodeK := flag.Int("k", 256, "node mode: sample size (identical on all nodes)")
+	nodeSeed := flag.Uint64("seed", 1, "node mode: run seed (identical on all nodes)")
+	nodeAlgo := flag.String("algo", "ours", "node mode: sampling algorithm, ours or gather (identical on all nodes)")
+	nodeUniform := flag.Bool("uniform", false, "node mode: uniform (unweighted) sampling (identical on all nodes)")
+	formation := flag.Duration("formation-timeout", 60*time.Second, "node mode: cluster formation deadline")
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+
+	if *peers != "" {
+		if *data != "" {
+			fmt.Fprintln(os.Stderr, "reservoir-serve: -data is not supported in node mode (-peers)")
+			os.Exit(2)
+		}
+		runNode(nodeConfig{
+			peerID:    *peerID,
+			peers:     strings.Split(*peers, ","),
+			addr:      *addr,
+			k:         *nodeK,
+			seed:      *nodeSeed,
+			algo:      *nodeAlgo,
+			uniform:   *nodeUniform,
+			formation: *formation,
+			logf:      logf,
+		})
+		return
+	}
+	if *peerID >= 0 {
+		fmt.Fprintln(os.Stderr, "reservoir-serve: -peer-id requires -peers")
+		os.Exit(2)
 	}
 
 	opts := []service.Option{service.WithLogger(logf)}

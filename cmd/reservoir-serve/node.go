@@ -1,0 +1,100 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"reservoir"
+	"reservoir/internal/nodesvc"
+	"reservoir/internal/transport/tcpnet"
+)
+
+// nodeConfig collects the node-mode flags.
+type nodeConfig struct {
+	peerID    int
+	peers     []string
+	addr      string
+	k         int
+	seed      uint64
+	algo      string
+	uniform   bool
+	formation time.Duration
+	logf      func(string, ...any)
+}
+
+// runNode turns this process into one PE of a multi-process cluster: dial
+// the TCP mesh, then serve (rank 0) or follow (other ranks) until the
+// cluster shuts down through the control API.
+func runNode(cfg nodeConfig) {
+	for i := range cfg.peers {
+		cfg.peers[i] = strings.TrimSpace(cfg.peers[i])
+		if cfg.peers[i] == "" {
+			fmt.Fprintf(os.Stderr, "reservoir-serve: empty entry %d in -peers\n", i)
+			os.Exit(2)
+		}
+	}
+	if cfg.peerID < 0 || cfg.peerID >= len(cfg.peers) {
+		fmt.Fprintf(os.Stderr, "reservoir-serve: -peer-id %d outside -peers list of %d\n", cfg.peerID, len(cfg.peers))
+		os.Exit(2)
+	}
+	var algo reservoir.Algorithm
+	if err := algo.UnmarshalText([]byte(cfg.algo)); err != nil {
+		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+		os.Exit(2)
+	}
+	// Sanity bound: gathers hold O(k) (distributed) or O(p·k) (gather
+	// baseline) items in memory at the root; the transport fragments
+	// arbitrarily large messages, so this protects memory, not framing.
+	const maxNodeK = 1 << 21
+	if cfg.k < 1 || cfg.k > maxNodeK {
+		fmt.Fprintf(os.Stderr, "reservoir-serve: -k must be in [1, %d], got %d\n", maxNodeK, cfg.k)
+		os.Exit(2)
+	}
+
+	cfg.logf("node %d/%d forming cluster (%s)", cfg.peerID, len(cfg.peers), cfg.algo)
+	tr, err := tcpnet.Dial(tcpnet.Config{
+		Rank:             cfg.peerID,
+		Peers:            cfg.peers,
+		FormationTimeout: cfg.formation,
+		Logf:             cfg.logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+		os.Exit(1)
+	}
+	defer tr.Close()
+
+	srv, err := nodesvc.New(nodesvc.Options{
+		Conn:      tr,
+		Config:    reservoir.Config{K: cfg.k, Weighted: !cfg.uniform, Seed: cfg.seed},
+		Algorithm: algo,
+		Addr:      cfg.addr,
+		Logf:      cfg.logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+		os.Exit(1)
+	}
+
+	// Graceful cluster shutdown flows through the root's control API (the
+	// shutdown command must reach every node collectively). A signal
+	// therefore tears the transport down hard; log the distinction so
+	// operators reach for POST /v1/cluster/shutdown first.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		cfg.logf("node %d: signal received; closing transport (use POST /v1/cluster/shutdown on rank 0 for a clean stop)", cfg.peerID)
+		tr.Close()
+	}()
+
+	if err := srv.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+		os.Exit(1)
+	}
+	cfg.logf("node %d: bye", cfg.peerID)
+}

@@ -38,7 +38,16 @@ func main() {
 	seed := flag.Uint64("seed", 7, "base seed")
 	jsonOut := flag.String("json", "", "also write a reservoir-bench/v1 report to this path")
 	name := flag.String("name", "verify_stats", "report name for -json")
+	match := flag.String("match", "", "verify a cluster sample dump (reservoir-loadgen -cluster -sample-out) against a simulator replay instead of running the statistical suite")
 	flag.Parse()
+
+	if *match != "" {
+		if err := runMatch(*match); err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-verify: match FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := bench.NewReport("reservoir-verify", *name)
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)

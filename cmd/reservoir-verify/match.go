@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"reservoir"
+	"reservoir/internal/nodesvc"
+	"reservoir/internal/service"
+)
+
+// runMatch replays a multi-process cluster run on the in-process simulator
+// and demands a byte-identical sample: the dump (written by
+// reservoir-loadgen -cluster -sample-out) carries the full configuration
+// and synthetic workload spec, and the sampler is deterministic given
+// (seed, stream), so any divergence means the transport changed the
+// algorithm's behavior. This is the production end of the transport
+// equivalence suite: CI runs it against a real 4-process cluster.
+func runMatch(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var dump nodesvc.SampleDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	if dump.P < 1 || dump.K < 1 || dump.Rounds < 1 {
+		return fmt.Errorf("%s: implausible dump (p=%d k=%d rounds=%d)", path, dump.P, dump.K, dump.Rounds)
+	}
+
+	cfg := reservoir.Config{K: dump.K, Weighted: !dump.Uniform, Seed: dump.Seed}
+	cl, err := reservoir.NewCluster(dump.P, cfg, reservoir.WithAlgorithm(dump.Algorithm))
+	if err != nil {
+		return err
+	}
+	src, err := dump.Synthetic.BuildSource(service.RunConfig{Seed: dump.Seed, Uniform: dump.Uniform})
+	if err != nil {
+		return fmt.Errorf("rebuilding synthetic source: %w", err)
+	}
+	for r := 0; r < dump.Rounds; r++ {
+		cl.ProcessRound(src)
+	}
+	want := cl.Sample()
+
+	if len(want) != len(dump.Sample) {
+		return fmt.Errorf("sample size mismatch: simulator %d, cluster %d", len(want), len(dump.Sample))
+	}
+	for i := range want {
+		got := dump.Sample[i]
+		if want[i].W != got.W || want[i].ID != got.ID {
+			return fmt.Errorf("sample[%d] mismatch: simulator {w:%v id:%d}, cluster {w:%v id:%d}",
+				i, want[i].W, want[i].ID, got.W, got.ID)
+		}
+	}
+	fmt.Printf("match %-22s p=%d k=%d algo=%s rounds=%d: %d items byte-identical to the simulator replay\n",
+		path, dump.P, dump.K, dump.Algorithm, dump.Rounds, len(want))
+	return nil
+}

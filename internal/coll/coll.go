@@ -1,6 +1,6 @@
 // Package coll implements the collective communication operations of the
 // paper's machine model (Sec 3, "Collective Communication") on top of the
-// simulated network of internal/simnet:
+// point-to-point transport.Conn interface:
 //
 //   - Broadcast, Reduce, AllReduce, Barrier in O(βℓ + α log p) time,
 //   - Gather (and AllGather) in O(βpℓ + α log p) time,
@@ -10,38 +10,44 @@
 // communicator must call the same sequence of collectives; a per-communicator
 // operation counter generates matching message tags.
 //
-// The word counts passed to each collective feed the α+βℓ cost model, so
-// virtual time and the simulated traffic counters reflect exactly what the
-// algorithms communicate. internal/core's samplers and internal/distsel's
-// selection algorithms run entirely on top of this package.
+// The collectives run unchanged over any transport backend: the in-process
+// simulator (internal/simnet, deterministic virtual clocks charging the
+// α+βℓ cost model) or a real network (internal/transport/tcpnet, one OS
+// process per PE). The word counts passed to each collective feed the cost
+// model on simulated transports and the traffic counters on all of them,
+// so reported communication reflects exactly what the algorithms send.
+// internal/core's samplers and internal/distsel's selection algorithms run
+// entirely on top of this package.
 package coll
 
 import (
 	"sort"
 
-	"reservoir/internal/simnet"
+	"reservoir/internal/transport"
 )
 
 // Comm is a communicator: one PE's handle for participating in collectives
 // over the whole cluster. Communicators on different PEs stay in lockstep
-// because SPMD code issues the same operations in the same order.
+// because SPMD code issues the same operations in the same order. All
+// collectives issued against the same underlying Conn must go through the
+// same Comm (the shared operation counter is what keeps tags unique).
 type Comm struct {
-	PE  *simnet.PE
-	p   int
-	seq int
+	Conn transport.Conn
+	p    int
+	seq  int
 }
 
-// New returns a communicator for the given PE spanning all p PEs of its
-// cluster.
-func New(pe *simnet.PE) *Comm {
-	return &Comm{PE: pe, p: pe.P()}
+// New returns a communicator for the given transport endpoint spanning all
+// p PEs of its cluster.
+func New(conn transport.Conn) *Comm {
+	return &Comm{Conn: conn, p: conn.P()}
 }
 
 // P returns the number of PEs in the communicator.
 func (c *Comm) P() int { return c.p }
 
 // Rank returns the calling PE's rank.
-func (c *Comm) Rank() int { return c.PE.ID() }
+func (c *Comm) Rank() int { return c.Conn.ID() }
 
 // nextTag returns a fresh tag for one collective operation instance.
 // Collectives may use up to tagStride distinct tags internally.
@@ -72,6 +78,7 @@ func Broadcast[T any](c *Comm, root int, val T, words int) T {
 	if p == 1 {
 		return val
 	}
+	transport.RegisterType[T]()
 	rel := (c.Rank() - root + p) % p
 	// Highest power of two < p bounds the sender masks.
 	top := 1
@@ -82,12 +89,12 @@ func Broadcast[T any](c *Comm, root int, val T, words int) T {
 	if rel != 0 {
 		lsb = rel & (-rel)
 		parent := (rel - lsb + root) % p
-		val = c.PE.Recv(parent, tag).(T)
+		val = c.Conn.Recv(parent, tag).(T)
 	}
 	for m := lsb >> 1; m >= 1; m >>= 1 {
 		child := rel + m
 		if child < p {
-			c.PE.Send((child+root)%p, tag, val, words)
+			c.Conn.Send((child+root)%p, tag, val, words)
 		}
 	}
 	return val
@@ -102,6 +109,7 @@ func Reduce[T any](c *Comm, root int, val T, op Op[T], words int) T {
 	if p == 1 {
 		return val
 	}
+	transport.RegisterType[T]()
 	rel := (c.Rank() - root + p) % p
 	top := 1
 	for top < p {
@@ -117,14 +125,14 @@ func Reduce[T any](c *Comm, root int, val T, op Op[T], words int) T {
 		if child >= p {
 			break
 		}
-		cv := c.PE.Recv((child+root)%p, tag).(T)
+		cv := c.Conn.Recv((child+root)%p, tag).(T)
 		// Child rel+m covers higher relative ranks than everything
 		// accumulated so far.
 		acc = op(acc, cv)
 	}
 	if rel != 0 {
 		parent := (rel - lsb + root) % p
-		c.PE.Send(parent, tag, acc, words)
+		c.Conn.Send(parent, tag, acc, words)
 	}
 	return acc
 }
@@ -140,6 +148,7 @@ func AllReduce[T any](c *Comm, val T, op Op[T], words int) T {
 	if p == 1 {
 		return val
 	}
+	transport.RegisterType[T]()
 	// p2 = largest power of two <= p.
 	p2 := 1
 	for p2*2 <= p {
@@ -149,17 +158,17 @@ func AllReduce[T any](c *Comm, val T, op Op[T], words int) T {
 	acc := val
 	// Fold: extras send their value down to id-p2.
 	if id >= p2 {
-		c.PE.Send(id-p2, tag, acc, words)
+		c.Conn.Send(id-p2, tag, acc, words)
 	} else {
 		if id+p2 < p {
-			ev := c.PE.Recv(id+p2, tag).(T)
+			ev := c.Conn.Recv(id+p2, tag).(T)
 			acc = op(acc, ev)
 		}
 		// Butterfly on [0, p2).
 		for m := 1; m < p2; m <<= 1 {
 			partner := id ^ m
-			c.PE.Send(partner, tag+1, acc, words)
-			pv := c.PE.Recv(partner, tag+1).(T)
+			c.Conn.Send(partner, tag+1, acc, words)
+			pv := c.Conn.Recv(partner, tag+1).(T)
 			if partner > id {
 				acc = op(acc, pv)
 			} else {
@@ -167,25 +176,28 @@ func AllReduce[T any](c *Comm, val T, op Op[T], words int) T {
 			}
 		}
 		if id+p2 < p {
-			c.PE.Send(id+p2, tag+2, acc, words)
+			c.Conn.Send(id+p2, tag+2, acc, words)
 		}
 	}
 	if id >= p2 {
-		acc = c.PE.Recv(id-p2, tag+2).(T)
+		acc = c.Conn.Recv(id-p2, tag+2).(T)
 	}
 	return acc
 }
 
 // Barrier synchronizes all PEs (and their virtual clocks) without carrying
-// data.
+// data. (The token is an int, not an empty struct, so the same code runs
+// over wire transports, whose encoder rejects field-less payloads.)
 func Barrier(c *Comm) {
-	AllReduce(c, struct{}{}, func(a, _ struct{}) struct{} { return a }, 1)
+	AllReduce(c, 0, func(a, _ int) int { return a }, 1)
 }
 
-// gatherChunk carries one PE's contribution through the gather tree.
+// gatherChunk carries one PE's contribution through the gather tree. The
+// fields are exported so wire transports can encode chunks crossing
+// process boundaries.
 type gatherChunk[T any] struct {
-	src   int
-	items []T
+	Src   int
+	Items []T
 }
 
 // Gather collects a variable-length slice from every PE at root. At root it
@@ -195,10 +207,11 @@ type gatherChunk[T any] struct {
 func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
 	tag := c.nextTag()
 	p := c.p
-	own := gatherChunk[T]{src: c.Rank(), items: items}
+	own := gatherChunk[T]{Src: c.Rank(), Items: items}
 	if p == 1 {
 		return [][]T{items}
 	}
+	transport.RegisterType[[]gatherChunk[T]]()
 	rel := (c.Rank() - root + p) % p
 	top := 1
 	for top < p {
@@ -215,21 +228,21 @@ func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
 		if child >= p {
 			break
 		}
-		cv := c.PE.Recv((child+root)%p, tag).([]gatherChunk[T])
+		cv := c.Conn.Recv((child+root)%p, tag).([]gatherChunk[T])
 		for _, ch := range cv {
-			totalItems += len(ch.items)
+			totalItems += len(ch.Items)
 		}
 		chunks = append(chunks, cv...)
 	}
 	if rel != 0 {
 		parent := (rel - lsb + root) % p
 		// Words: payload plus one header word per chunk.
-		c.PE.Send(parent, tag, chunks, totalItems*wordsPerItem+len(chunks))
+		c.Conn.Send(parent, tag, chunks, totalItems*wordsPerItem+len(chunks))
 		return nil
 	}
 	out := make([][]T, p)
 	for _, ch := range chunks {
-		out[ch.src] = ch.items
+		out[ch.Src] = ch.Items
 	}
 	return out
 }

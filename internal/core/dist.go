@@ -8,7 +8,7 @@ import (
 	"reservoir/internal/costmodel"
 	"reservoir/internal/distsel"
 	"reservoir/internal/rng"
-	"reservoir/internal/simnet"
+	"reservoir/internal/transport"
 	"reservoir/internal/workload"
 )
 
@@ -32,6 +32,9 @@ type Sampler interface {
 	LocalSample() []workload.Item
 	// SampleSize returns the current global sample size (on every PE).
 	SampleSize() int
+	// Seen returns the global number of items processed so far, as known
+	// by this PE after its last completed round (no communication).
+	Seen() int64
 	// Threshold returns the current global key threshold and whether one
 	// has been established (i.e. at least k items were seen).
 	Threshold() (float64, bool)
@@ -103,7 +106,7 @@ func (pe *DistPE) weightedKey(w float64) float64 {
 
 // ProcessBatch implements Sampler.
 func (pe *DistPE) ProcessBatch(b workload.Batch) {
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 
 	// Phase 1: local scan & insert (the "insert" bars of Figure 6).
 	t0 := clock.Clock()
@@ -133,7 +136,7 @@ func (pe *DistPE) insertAll(b workload.Batch) {
 	// Charges: one key variate per item plus one tree insert per accepted
 	// item; scan touch cost per item.
 	perItem := pe.model.ScanPerItemNS(n, false) + pe.model.RNGNS
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	for i := 0; i < n; i++ {
 		it := b.At(i)
 		var v float64
@@ -169,7 +172,7 @@ func (pe *DistPE) insertAll(b workload.Batch) {
 func (pe *DistPE) skipScanWeighted(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	draws := 0
 	x := rng.Exponential(pe.src, t)
 	draws++
@@ -228,7 +231,7 @@ func (pe *DistPE) insertBelow(it workload.Item, t float64) {
 	v := -math.Log(rng.Uniform(pe.src, xlo, 1)) / it.W
 	pe.res.Insert(btree.Key{V: v, ID: pe.nextKeyID()}, it)
 	pe.counter.Inserted++
-	pe.comm.PE.Work(pe.model.TreeOpNS(pe.res.Len()))
+	pe.comm.Conn.Work(pe.model.TreeOpNS(pe.res.Len()))
 }
 
 // skipScanUniform is the uniform variant (Sec 4.3): geometric jumps skip
@@ -237,7 +240,7 @@ func (pe *DistPE) insertBelow(it workload.Item, t float64) {
 func (pe *DistPE) skipScanUniform(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	draws := 0
 	j := rng.GeometricSkip(pe.src, t)
 	draws++
@@ -258,7 +261,7 @@ func (pe *DistPE) skipScanUniform(b workload.Batch) {
 // global candidate count, select the key of global rank k (or a rank in
 // [KMin, KMax] in variable mode), and discard local items above it.
 func (pe *DistPE) selectAndPrune(batchLen int) {
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 
 	t0 := clock.Clock()
 	sizes := coll.AllReduce(pe.comm, []int{pe.res.Len(), batchLen}, coll.SumInts, 2)
@@ -347,7 +350,7 @@ func (pe *DistPE) selectAndPrune(batchLen int) {
 // setThresholdToMax sets the global threshold to the maximum key of the
 // union of the local reservoirs via one all-reduction.
 func (pe *DistPE) setThresholdToMax() {
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	t0 := clock.Clock()
 	local := btree.Key{V: math.Inf(-1)}
 	if k, _, ok := pe.res.Max(); ok {
@@ -418,7 +421,7 @@ func (pe *DistPE) Counters() Counters { return pe.counter }
 // before forwarding to the underlying sequence.
 type chargedSeq struct {
 	s  distsel.Seq
-	pe *simnet.PE
+	pe transport.Conn
 	m  costmodel.Model
 }
 
@@ -437,7 +440,7 @@ func (c chargedSeq) Select(rank int) (btree.Key, bool) {
 // chargedRNG charges a per-variate cost to the PE's virtual clock.
 type chargedRNG struct {
 	src rng.Source
-	pe  *simnet.PE
+	pe  transport.Conn
 	ns  float64
 }
 

@@ -69,7 +69,7 @@ func (pe *GatherPE) nextKeyID() uint64 {
 
 // ProcessBatch implements Sampler.
 func (pe *GatherPE) ProcessBatch(b workload.Batch) {
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	k := pe.cfg.K
 
 	// Phase 1: filter the batch against the current threshold. Same key
@@ -155,7 +155,7 @@ func (pe *GatherPE) ProcessBatch(b workload.Batch) {
 // we reuse the sequential samplers for exactly that.
 func (pe *GatherPE) filterAll(b workload.Batch) {
 	n := b.Len()
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	k := pe.cfg.K
 	// Retain the k smallest keys with a bounded max-heap.
 	var h maxHeap
@@ -188,7 +188,7 @@ func (pe *GatherPE) filterAll(b workload.Batch) {
 func (pe *GatherPE) filterWeighted(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	draws := 1
 	x := rng.Exponential(pe.src, t)
 	for j := 0; j < n; j++ {
@@ -209,7 +209,7 @@ func (pe *GatherPE) filterWeighted(b workload.Batch) {
 func (pe *GatherPE) filterUniform(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
-	clock := pe.comm.PE
+	clock := pe.comm.Conn
 	draws := 1
 	j := rng.GeometricSkip(pe.src, t)
 	for j < n {

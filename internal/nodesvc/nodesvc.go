@@ -1,0 +1,477 @@
+// Package nodesvc runs one node of a real multi-process sampling cluster:
+// the service layer behind reservoir-serve's node mode (-peer-id/-peers).
+//
+// Every process owns one reservoir.Node over a shared transport (tcpnet in
+// production). The cluster drives itself through its own collectives: rank
+// 0 exposes a small HTTP control API, and each accepted request becomes a
+// command broadcast to all nodes through the same Broadcast primitive the
+// sampler uses — so the control plane needs no second network and is in
+// lockstep with the sampling collectives by construction. Non-root nodes
+// sit in a loop receiving commands; the paper's SPMD model is preserved
+// end to end.
+//
+// Control API (rank 0):
+//
+//	GET  /healthz                  liveness + cluster shape
+//	POST /v1/cluster/rounds       {"synthetic": {...}} — run mini-batch rounds
+//	GET  /v1/cluster/sample       gather and return the merged global sample
+//	GET  /v1/cluster/stats        last published cluster stats (no collective)
+//	POST /v1/cluster/shutdown     stop all nodes of the cluster
+//
+// The synthetic spec is the same shape as the single-process service's
+// (service.SyntheticSpec) and builds the identical (seed, pe, round)-keyed
+// workload stream, which is what lets reservoir-verify -match replay a
+// cluster run on the simulator and demand a byte-identical sample.
+package nodesvc
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"reservoir"
+	"reservoir/internal/service"
+	"reservoir/internal/transport"
+)
+
+// Command opcodes broadcast from rank 0.
+const (
+	opRounds   = "rounds"
+	opSample   = "sample"
+	opShutdown = "shutdown"
+)
+
+// command is the control message distributed through the cluster's own
+// Broadcast collective. Fields are exported for the wire transport.
+type command struct {
+	Op   string
+	Spec service.SyntheticSpec
+}
+
+// commandWords is the nominal cost-model size of a command broadcast.
+const commandWords = 8
+
+// Per-request bounds (the node API is driven by benchmarks and operators,
+// not untrusted tenants, but a typo should not wedge the cluster).
+const (
+	maxBatchLen = 1 << 24
+	maxRounds   = 1 << 16
+)
+
+// Options configures one node of the cluster.
+type Options struct {
+	// Conn is this node's transport endpoint (required).
+	Conn transport.Conn
+	// Config is the sampler configuration; must be identical on every
+	// node of the cluster.
+	Config reservoir.Config
+	// Algorithm selects Distributed (default) or CentralizedGather; must
+	// be identical on every node.
+	Algorithm reservoir.Algorithm
+	// Addr is the HTTP control listen address, used by rank 0 only
+	// (default ":8080"). Ignored when Listener is set.
+	Addr string
+	// Listener optionally provides a pre-bound control listener for rank
+	// 0 (tests use port-0 listeners).
+	Listener net.Listener
+	// Logf receives lifecycle messages (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Stats is the GET /v1/cluster/stats (and POST rounds) response: the
+// cluster-wide state as of the last completed command.
+type Stats struct {
+	Mode            string              `json:"mode"`
+	P               int                 `json:"p"`
+	Algorithm       reservoir.Algorithm `json:"algorithm"`
+	K               int                 `json:"k"`
+	Seed            uint64              `json:"seed"`
+	Uniform         bool                `json:"uniform,omitempty"`
+	Rounds          int                 `json:"rounds"`
+	SampleSize      int                 `json:"sample_size"`
+	Threshold       float64             `json:"threshold"`
+	HaveThreshold   bool                `json:"have_threshold"`
+	ItemsProcessed  int64               `json:"items_processed"`
+	Inserted        int64               `json:"inserted"`
+	Selections      int64               `json:"selections"`
+	SelectionRounds int64               `json:"selection_rounds"`
+	WallNS          float64             `json:"wall_ns"`
+	Network         NetworkStats        `json:"network"`
+}
+
+// NetworkStats is the cluster-wide traffic summary (all nodes' outgoing
+// counters, summed with one all-reduction after each command). The wire
+// shape is shared with the single-process service's stats.
+type NetworkStats = service.NetworkStats
+
+// SampleResponse is the GET /v1/cluster/sample response.
+type SampleResponse struct {
+	Size  int                `json:"size"`
+	Items []service.WireItem `json:"items"`
+}
+
+// SampleDump is the verifiable record of a cluster run: configuration,
+// ingested synthetic workload, and the merged sample — everything
+// reservoir-verify -match needs to replay the run on the simulator and
+// compare byte-for-byte. reservoir-loadgen writes one with -sample-out.
+type SampleDump struct {
+	P         int                   `json:"p"`
+	K         int                   `json:"k"`
+	Algorithm reservoir.Algorithm   `json:"algorithm"`
+	Uniform   bool                  `json:"uniform,omitempty"`
+	Seed      uint64                `json:"seed"`
+	Rounds    int                   `json:"rounds"`
+	Synthetic service.SyntheticSpec `json:"synthetic"`
+	Sample    []service.WireItem    `json:"sample"`
+}
+
+// pending is one queued control command awaiting its collective turn.
+type pending struct {
+	cmd   command
+	reply chan result
+}
+
+type result struct {
+	stats Stats
+	items []service.WireItem
+	err   error
+}
+
+// Server is one node's service instance.
+type Server struct {
+	opts Options
+	node *reservoir.Node
+	// runCfg carries the fields SyntheticSpec.BuildSource consults, so
+	// node-mode streams match single-process service streams exactly.
+	runCfg service.RunConfig
+	logf   func(string, ...any)
+
+	// Root-only control state. done closes when the collective loop
+	// exits, unblocking submitters that raced with shutdown.
+	cmds chan *pending
+	done chan struct{}
+
+	mu       sync.Mutex
+	lastStat Stats
+	shutdown bool
+}
+
+// New creates this node's server over an established transport.
+func New(opts Options) (*Server, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	node, err := reservoir.NewNode(opts.Conn, opts.Config, reservoir.WithAlgorithm(opts.Algorithm))
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:   opts,
+		node:   node,
+		runCfg: service.RunConfig{Seed: opts.Config.Seed, Uniform: !opts.Config.Weighted},
+		logf:   logf,
+		cmds:   make(chan *pending),
+		done:   make(chan struct{}),
+	}
+	s.lastStat = s.snapshotLocked(reservoir.NetworkStats{}, reservoir.Counters{})
+	return s, nil
+}
+
+// Run drives the node until the cluster shuts down. On rank 0 it serves
+// the HTTP control API and feeds accepted commands into the collective
+// loop; on other ranks it executes broadcast commands. It returns nil
+// after an orderly cluster shutdown.
+func (s *Server) Run() error {
+	if s.node.Rank() == 0 {
+		return s.runRoot()
+	}
+	return s.runFollower()
+}
+
+func (s *Server) runFollower() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nodesvc: rank %d: %v", s.node.Rank(), r)
+		}
+	}()
+	s.logf("nodesvc: rank %d/%d following", s.node.Rank(), s.node.P())
+	for {
+		cmd := reservoir.BroadcastValue(s.node, 0, command{}, commandWords)
+		res := s.execute(cmd)
+		if res.err != nil {
+			return fmt.Errorf("nodesvc: rank %d executing %q: %w", s.node.Rank(), cmd.Op, res.err)
+		}
+		if cmd.Op == opShutdown {
+			s.logf("nodesvc: rank %d shutting down", s.node.Rank())
+			return nil
+		}
+	}
+}
+
+func (s *Server) runRoot() error {
+	ln := s.opts.Listener
+	if ln == nil {
+		addr := s.opts.Addr
+		if addr == "" {
+			addr = ":8080"
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return fmt.Errorf("nodesvc: control listen: %w", err)
+		}
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	httpErr := make(chan error, 1)
+	serveFailed := make(chan error, 1)
+	go func() {
+		err := hs.Serve(ln)
+		httpErr <- err
+		if err != nil && err != http.ErrServerClosed {
+			serveFailed <- err // wake rootLoop: no frontend can submit commands anymore
+		}
+	}()
+	s.logf("nodesvc: rank 0/%d leading, control API on %s", s.node.P(), ln.Addr())
+
+	runErr := s.rootLoop(serveFailed)
+	close(s.done)
+	// Let in-flight handlers (including the shutdown response) flush.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		hs.Close()
+	}
+	<-httpErr
+	s.logf("nodesvc: rank 0 shut down")
+	return runErr
+}
+
+// rootLoop drains the command queue through the cluster's collectives. A
+// transport failure mid-collective (a dead peer poisons the mailbox with
+// a panic) is recovered into an orderly error so rank 0 still runs its
+// HTTP shutdown and submitter-unblocking cleanup. A dead control server
+// (serveFailed) shuts the cluster down instead of leaving the followers
+// blocked on a Broadcast that can never be requested again.
+func (s *Server) rootLoop(serveFailed <-chan error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nodesvc: rank 0: %v", r)
+		}
+	}()
+	for {
+		select {
+		case p, ok := <-s.cmds:
+			if !ok {
+				return nil
+			}
+			// One broadcast wakes every follower; then all nodes
+			// (including this one) execute the command's collectives in
+			// lockstep.
+			reservoir.BroadcastValue(s.node, 0, p.cmd, commandWords)
+			res := s.execute(p.cmd)
+			p.reply <- res
+			if p.cmd.Op == opShutdown {
+				return nil
+			}
+			if res.err != nil {
+				return res.err
+			}
+		case e := <-serveFailed:
+			reservoir.BroadcastValue(s.node, 0, command{Op: opShutdown}, commandWords)
+			s.execute(command{Op: opShutdown})
+			return fmt.Errorf("nodesvc: control server failed: %w", e)
+		}
+	}
+}
+
+// execute runs one command's collective part on this node (all ranks call
+// it with the same command).
+func (s *Server) execute(cmd command) result {
+	switch cmd.Op {
+	case opRounds:
+		src, err := cmd.Spec.BuildSource(s.runCfg)
+		if err != nil {
+			// Roots validate before broadcasting; reaching this on any
+			// rank means the cluster configs diverge.
+			return result{err: fmt.Errorf("building synthetic source: %w", err)}
+		}
+		rounds := cmd.Spec.Rounds
+		if rounds == 0 {
+			rounds = 1
+		}
+		for i := 0; i < rounds; i++ {
+			s.node.ProcessRound(src)
+		}
+		return result{stats: s.publishStats()}
+	case opSample:
+		items := s.node.CollectSample()
+		st := s.publishStats()
+		out := make([]service.WireItem, len(items))
+		for i, it := range items {
+			out[i] = service.WireItem{W: it.W, ID: it.ID}
+		}
+		return result{stats: st, items: out}
+	case opShutdown:
+		return result{stats: s.lastStats()}
+	default:
+		return result{err: fmt.Errorf("unknown cluster command %q", cmd.Op)}
+	}
+}
+
+// publishStats aggregates cluster-wide counters (two all-reductions) and,
+// on every rank, returns the updated stats; rank 0 also caches them for
+// the non-collective GET /v1/cluster/stats.
+func (s *Server) publishStats() Stats {
+	net := s.node.ClusterNetworkStats()
+	cnt := s.node.ClusterCounters()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastStat = s.snapshotLocked(net, cnt)
+	return s.lastStat
+}
+
+func (s *Server) snapshotLocked(net reservoir.NetworkStats, cnt reservoir.Counters) Stats {
+	th, have := s.node.Threshold()
+	return Stats{
+		Mode:            "cluster-node",
+		P:               s.node.P(),
+		Algorithm:       s.node.Algorithm(),
+		K:               s.opts.Config.K,
+		Seed:            s.opts.Config.Seed,
+		Uniform:         !s.opts.Config.Weighted,
+		Rounds:          s.node.Round(),
+		SampleSize:      s.node.SampleSize(),
+		Threshold:       th,
+		HaveThreshold:   have,
+		ItemsProcessed:  cnt.ItemsProcessed,
+		Inserted:        cnt.Inserted,
+		Selections:      cnt.Selections,
+		SelectionRounds: cnt.SelectionRounds,
+		WallNS:          s.node.ClockNS(),
+		Network: NetworkStats{
+			Messages: net.Messages,
+			Words:    net.Words,
+			Bytes:    net.Bytes,
+		},
+	}
+}
+
+func (s *Server) lastStats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastStat
+}
+
+// submit queues a command for the collective loop and waits for its
+// result. It fails fast once shutdown has been requested.
+func (s *Server) submit(cmd command) (result, bool) {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return result{}, false
+	}
+	if cmd.Op == opShutdown {
+		s.shutdown = true
+	}
+	s.mu.Unlock()
+	p := &pending{cmd: cmd, reply: make(chan result, 1)}
+	select {
+	case s.cmds <- p:
+	case <-s.done:
+		return result{}, false
+	}
+	select {
+	case r := <-p.reply:
+		return r, true
+	case <-s.done:
+		// The loop exited; it replies (buffered) before breaking, so a
+		// processed command's result is still retrievable.
+		select {
+		case r := <-p.reply:
+			return r, true
+		default:
+			return result{}, false
+		}
+	}
+}
+
+// Handler returns rank 0's control API handler (exported for tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, map[string]any{
+			"status": "ok",
+			"mode":   "cluster-node",
+			"rank":   s.node.Rank(),
+			"p":      s.node.P(),
+			"rounds": s.lastStats().Rounds,
+		})
+	})
+	mux.HandleFunc("POST /v1/cluster/rounds", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Synthetic *service.SyntheticSpec `json:"synthetic"`
+		}
+		if err := service.DecodeBody(w, r, 1<<20, &req); err != nil {
+			service.WriteErrorf(w, service.APIErrorCode(err, http.StatusBadRequest), "%v", err)
+			return
+		}
+		if req.Synthetic == nil {
+			service.WriteErrorf(w, http.StatusBadRequest, "node mode ingests synthetic rounds; body needs {\"synthetic\": {...}}")
+			return
+		}
+		spec := *req.Synthetic
+		if spec.BatchLen < 1 || spec.BatchLen > maxBatchLen {
+			service.WriteErrorf(w, http.StatusBadRequest, "batch_len must be in [1, %d], got %d", maxBatchLen, spec.BatchLen)
+			return
+		}
+		if spec.Rounds < 0 || spec.Rounds > maxRounds {
+			service.WriteErrorf(w, http.StatusBadRequest, "rounds must be in [0, %d], got %d", maxRounds, spec.Rounds)
+			return
+		}
+		if _, err := spec.BuildSource(s.runCfg); err != nil {
+			service.WriteErrorf(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res, ok := s.submit(command{Op: opRounds, Spec: spec})
+		if !ok {
+			service.WriteErrorf(w, http.StatusServiceUnavailable, "cluster is shutting down")
+			return
+		}
+		if res.err != nil {
+			service.WriteErrorf(w, http.StatusInternalServerError, "%v", res.err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, res.stats)
+	})
+	mux.HandleFunc("GET /v1/cluster/sample", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := s.submit(command{Op: opSample})
+		if !ok {
+			service.WriteErrorf(w, http.StatusServiceUnavailable, "cluster is shutting down")
+			return
+		}
+		if res.err != nil {
+			service.WriteErrorf(w, http.StatusInternalServerError, "%v", res.err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, SampleResponse{Size: len(res.items), Items: res.items})
+	})
+	mux.HandleFunc("GET /v1/cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		service.WriteJSON(w, http.StatusOK, s.lastStats())
+	})
+	mux.HandleFunc("POST /v1/cluster/shutdown", func(w http.ResponseWriter, r *http.Request) {
+		res, ok := s.submit(command{Op: opShutdown})
+		if !ok {
+			service.WriteErrorf(w, http.StatusServiceUnavailable, "cluster is already shutting down")
+			return
+		}
+		if res.err != nil {
+			service.WriteErrorf(w, http.StatusInternalServerError, "%v", res.err)
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, map[string]string{"status": "shutting down"})
+	})
+	return mux
+}

@@ -76,7 +76,9 @@ type HealthResponse struct {
 	Store  *store.Status `json:"store,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// WriteJSON writes v as a JSON response with the given status code
+// (shared with the node-mode control API in internal/nodesvc).
+func WriteJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	if err := json.NewEncoder(w).Encode(v); err != nil {
@@ -85,23 +87,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func writeErrorf(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// WriteErrorf writes the service's JSON error envelope.
+func WriteErrorf(w http.ResponseWriter, code int, format string, args ...any) {
+	WriteJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 // writeError maps run-layer errors to HTTP responses.
 func writeError(w http.ResponseWriter, err error) {
 	var api *apiError
 	if errors.As(err, &api) {
-		writeErrorf(w, api.code, "%s", api.msg)
+		WriteErrorf(w, api.code, "%s", api.msg)
 		return
 	}
-	writeErrorf(w, http.StatusInternalServerError, "%v", err)
+	WriteErrorf(w, http.StatusInternalServerError, "%v", err)
 }
 
 // decodeBody strictly decodes exactly one JSON value of at most limit
 // bytes: unknown fields, over-limit bodies, and trailing data are rejected.
-func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
+// DecodeBody strictly decodes a JSON request body: size-limited, unknown
+// fields rejected, exactly one value (shared with the node-mode control
+// API in internal/nodesvc). Errors carry an HTTP status via APIErrorCode.
+func DecodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -126,12 +132,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		st := s.store.Status()
 		resp.Store = &st
 	}
-	writeJSON(w, http.StatusOK, resp)
+	WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 	var cfg RunConfig
-	if err := decodeBody(w, r, maxConfigBytes, &cfg); err != nil {
+	if err := DecodeBody(w, r, maxConfigBytes, &cfg); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -140,11 +146,11 @@ func (s *Server) handleCreateRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, CreateResponse{ID: run.id, Config: run.cfg})
+	WriteJSON(w, http.StatusCreated, CreateResponse{ID: run.id, Config: run.cfg})
 }
 
 func (s *Server) handleListRuns(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, ListResponse{Runs: s.listRuns()})
+	WriteJSON(w, http.StatusOK, ListResponse{Runs: s.listRuns()})
 }
 
 // lookupRun resolves the {id} path segment, writing a 404 on a miss.
@@ -152,7 +158,7 @@ func (s *Server) lookupRun(w http.ResponseWriter, r *http.Request) (*Run, bool) 
 	id := r.PathValue("id")
 	run, ok := s.lookup(id)
 	if !ok {
-		writeErrorf(w, http.StatusNotFound, "no run %q", id)
+		WriteErrorf(w, http.StatusNotFound, "no run %q", id)
 	}
 	return run, ok
 }
@@ -168,7 +174,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req IngestRequest
-	if err := decodeBody(w, r, maxIngestBytes, &req); err != nil {
+	if err := DecodeBody(w, r, maxIngestBytes, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -196,7 +202,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !wait {
-		writeJSON(w, http.StatusAccepted, IngestAccepted{
+		WriteJSON(w, http.StatusAccepted, IngestAccepted{
 			ID:            run.id,
 			Rounds:        job.rounds,
 			QueueLen:      len(run.queue),
@@ -210,7 +216,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, res.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, res.st)
+		WriteJSON(w, http.StatusOK, res.st)
 	case <-r.Context().Done():
 		// Client gone; the worker still finishes or cancels the job on
 		// its own (job.ctx is this request's context). Nothing to write.
@@ -223,7 +229,7 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	items, rounds := run.sample()
-	writeJSON(w, http.StatusOK, SampleResponse{
+	WriteJSON(w, http.StatusOK, SampleResponse{
 		ID: run.id, Rounds: rounds, Count: len(items), Items: items,
 	})
 }
@@ -233,13 +239,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, run.stats())
+	WriteJSON(w, http.StatusOK, run.stats())
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.deleteRun(id) {
-		writeErrorf(w, http.StatusNotFound, "no run %q", id)
+		WriteErrorf(w, http.StatusNotFound, "no run %q", id)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

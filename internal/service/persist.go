@@ -278,7 +278,7 @@ func (r *Run) replayRecord(rec *store.RoundRecord) error {
 		if err := json.Unmarshal(rec.Synthetic, &spec); err != nil {
 			return fmt.Errorf("replay round %d: spec: %w", rec.Round, err)
 		}
-		src, err := spec.source(r.cfg)
+		src, err := spec.BuildSource(r.cfg)
 		if err != nil {
 			return fmt.Errorf("replay round %d: %w", rec.Round, err)
 		}

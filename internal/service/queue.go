@@ -117,7 +117,7 @@ func (r *Run) buildSynthetic(spec SyntheticSpec) (*ingestJob, error) {
 	if rounds < 1 || rounds > maxSynthRounds {
 		return nil, badRequestf("rounds must be in [1, %d], got %d", maxSynthRounds, rounds)
 	}
-	src, err := spec.source(r.cfg)
+	src, err := spec.BuildSource(r.cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -140,10 +140,13 @@ func (r *Run) buildSynthetic(spec SyntheticSpec) (*ingestJob, error) {
 	}, nil
 }
 
-// source builds the workload generator for a synthetic ingest. Batches are
-// derived from (seed, pe, round), so repeated requests against the same run
-// continue the stream rather than replaying it.
-func (s SyntheticSpec) source(cfg RunConfig) (reservoir.Source, error) {
+// BuildSource builds the workload generator for a synthetic ingest.
+// Batches are derived from (seed, pe, round), so repeated requests against
+// the same run continue the stream rather than replaying it. Exported
+// because the multi-process node mode (internal/nodesvc) and
+// reservoir-verify's -match replay must generate the byte-identical
+// stream; only cfg.Seed and cfg.Uniform are consulted.
+func (s SyntheticSpec) BuildSource(cfg RunConfig) (reservoir.Source, error) {
 	seed := s.Seed
 	if seed == 0 {
 		seed = cfg.Seed + 0x9E3779B97F4A7C15

@@ -23,6 +23,7 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -139,10 +140,12 @@ type SyntheticSpec struct {
 	SD       float64 `json:"sd,omitempty"`
 }
 
-// NetworkStats mirrors the simulated traffic counters.
+// NetworkStats mirrors the active transport's traffic counters (for
+// simulated clusters, Bytes is Words*8).
 type NetworkStats struct {
 	Messages int64 `json:"messages"`
 	Words    int64 `json:"words"`
+	Bytes    int64 `json:"bytes,omitempty"`
 }
 
 // TimingStats is the per-phase virtual-time breakdown (Figure 6 phases).
@@ -190,6 +193,16 @@ type apiError struct {
 }
 
 func (e *apiError) Error() string { return e.msg }
+
+// APIErrorCode returns the HTTP status carried by a service error, or
+// fallback when err is not a service API error.
+func APIErrorCode(err error, fallback int) int {
+	var api *apiError
+	if errors.As(err, &api) {
+		return api.code
+	}
+	return fallback
+}
 
 func badRequestf(format string, args ...any) error {
 	return &apiError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}

@@ -18,14 +18,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeErrorf(w, http.StatusInternalServerError, "response writer does not support streaming")
+		WriteErrorf(w, http.StatusInternalServerError, "response writer does not support streaming")
 		return
 	}
 	// Subscribe before the initial snapshot so no round between snapshot
 	// and subscription is lost.
 	ch, ok := run.subscribe()
 	if !ok {
-		writeErrorf(w, http.StatusNotFound, "run %q was deleted", run.id)
+		WriteErrorf(w, http.StatusNotFound, "run %q was deleted", run.id)
 		return
 	}
 	defer run.unsubscribe(ch)

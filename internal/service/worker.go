@@ -209,7 +209,7 @@ func (r *Run) buildStats() Stats {
 		st.SelectionDepth = c.SelectionRounds
 		st.VirtualTimeNS = r.cluster.VirtualTime()
 		n := r.cluster.NetworkStats()
-		st.Network = &NetworkStats{Messages: n.Messages, Words: n.Words}
+		st.Network = &NetworkStats{Messages: n.Messages, Words: n.Words, Bytes: n.Bytes}
 		t := r.cluster.Timing()
 		st.Timing = &TimingStats{
 			ScanNS: t.ScanNS, SelectNS: t.SelectNS,

@@ -1,0 +1,33 @@
+package transport
+
+import (
+	"encoding/gob"
+	"reflect"
+)
+
+// Register makes v's concrete type encodable when it crosses a wire
+// transport inside an interface payload (gob needs the mapping from type
+// name to concrete type on both ends before the first decode). Calling it
+// again with the same type is a cheap no-op; nil values are ignored.
+//
+// The collectives register their payload types on operation entry, so this
+// only needs to be called directly for types sent through Conn.Send
+// outside the collective layer.
+func Register(v any) {
+	if v == nil {
+		return
+	}
+	t := reflect.TypeOf(v)
+	if t == nil || t.Kind() == reflect.Interface {
+		return
+	}
+	gob.Register(v)
+}
+
+// RegisterType registers T's concrete type for wire transports without
+// needing a value (the generic collectives use it with their static
+// payload type before the first Recv of an operation).
+func RegisterType[T any]() {
+	var zero T
+	Register(any(zero))
+}

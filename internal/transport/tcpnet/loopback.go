@@ -1,0 +1,60 @@
+package tcpnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Loopback forms a complete p-node cluster over 127.0.0.1 with
+// OS-assigned ports and returns the rank-indexed transports. It exists for
+// tests and in-process experiments: production clusters run one Dial per
+// OS process with a static peer list (see docs/DEPLOY.md). Closing any
+// returned transport poisons its node only; callers should Close all of
+// them.
+func Loopback(p int) ([]*Transport, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("tcpnet: loopback cluster needs p >= 1")
+	}
+	listeners := make([]net.Listener, p)
+	peers := make([]string, p)
+	for i := range listeners {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range listeners[:i] {
+				l.Close()
+			}
+			return nil, fmt.Errorf("tcpnet: loopback listen: %w", err)
+		}
+		listeners[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	ts := make([]*Transport, p)
+	errs := make([]error, p)
+	done := make(chan int, p)
+	for i := 0; i < p; i++ {
+		go func(rank int) {
+			ts[rank], errs[rank] = Dial(Config{
+				Rank:             rank,
+				Peers:            peers,
+				Listener:         listeners[rank],
+				FormationTimeout: 30 * time.Second,
+			})
+			done <- rank
+		}(i)
+	}
+	for i := 0; i < p; i++ {
+		<-done
+	}
+	for _, err := range errs {
+		if err != nil {
+			for _, t := range ts {
+				if t != nil {
+					t.Close()
+				}
+			}
+			return nil, err
+		}
+	}
+	return ts, nil
+}

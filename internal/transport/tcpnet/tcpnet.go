@@ -1,0 +1,650 @@
+// Package tcpnet is the real-network transport backend: p OS processes,
+// one per PE, connected by a full TCP mesh. It implements transport.Conn,
+// so the collectives of internal/coll — and with them the paper's
+// Distributed and CentralizedGather samplers — run over actual sockets
+// with wall-clock timing instead of the in-process simulator's virtual
+// clocks.
+//
+// # Topology and cluster formation
+//
+// The cluster is a static rank-indexed peer list (the same list on every
+// node). Each node listens on its own entry and opens one *directed*
+// connection to every other peer: node i's dialed connection to j carries
+// only i→j messages, while j→i traffic arrives on the connection j dialed.
+// Directed links make connection establishment race-free by construction —
+// there is no simultaneous-open tiebreak — and the only startup hazard
+// left is dialing a peer whose listener is not up yet, which Dial absorbs
+// by retrying with backoff until the formation deadline. A peer that
+// re-dials (e.g. after a partial startup failure) simply replaces its
+// previous inbound connection.
+//
+// # Wire format
+//
+// Every connection starts with a fixed handshake frame identifying the
+// protocol, the dialer's rank, and the expected cluster size; mismatches
+// reject the connection. After the handshake the stream is a sequence of
+// length-prefixed message frames:
+//
+//	u32 payload length | u32 tag | u32 cost-model words | u32 CRC-32 (IEEE) of payload | payload
+//
+// Messages above the 64 MiB per-frame cap are written as a contiguous run
+// of fragments (high bit set on the length word, CRC per fragment) and
+// reassembled by the receiver, so message size is bounded only by a 1 GiB
+// memory backstop, not by the framing.
+//
+// (all little-endian). The payload is the gob encoding of the message
+// value as an interface, so any type registered via transport.Register
+// round-trips; the collectives register their payload types themselves.
+// Each frame is a self-contained gob stream (its own type descriptors):
+// that costs some bytes per message versus a persistent per-connection
+// encoder, but it is what allows Recv to decode lazily in (peer, tag)
+// match order — a stream-stateful encoding would force decoding in
+// arrival order, before the receiving rank has necessarily entered the
+// collective that registers the payload type.
+// Gob encodes float64 bit patterns and integers exactly, which is what
+// makes a tcpnet sampling run produce byte-identical samples to a simnet
+// run with the same seed. The CRC guards against corrupt or misframed
+// streams: a mismatch poisons the transport rather than delivering a
+// mangled payload to the sampler.
+//
+// # Semantics
+//
+// Send and Recv match messages by (peer, tag) through a per-node mailbox,
+// exactly like the simulator. Work is a no-op (real computation takes real
+// time) and Clock reports wall-clock nanoseconds since the transport came
+// up. Stats counts this node's outgoing traffic: messages, declared
+// cost-model words (comparable with simulated runs), and actual encoded
+// bytes on the wire.
+package tcpnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"reservoir/internal/transport"
+)
+
+const (
+	handshakeMagic  = 0x52535654 // "RSVT"
+	protocolVersion = 1
+	handshakeLen    = 13
+	frameHeaderLen  = 16
+	// maxFramePayload bounds one frame; larger messages are fragmented
+	// across frames (fragFlag) and reassembled by the receiver, so the
+	// cap is a streaming granularity, not a message size limit.
+	maxFramePayload = 1 << 26 // 64 MiB
+	// fragFlag marks a frame as a non-final fragment of a larger message
+	// (set on the length header word; lengths stay below 1<<26).
+	fragFlag = uint32(1) << 31
+	// maxMessageBytes bounds one reassembled message — a memory backstop,
+	// far above anything the samplers send.
+	maxMessageBytes  = 1 << 30
+	defaultFormation = 60 * time.Second
+)
+
+// Config describes one node's place in the cluster.
+type Config struct {
+	// Rank is this node's id in 0..len(Peers)-1.
+	Rank int
+	// Peers is the rank-indexed address list ("host:port"), identical on
+	// every node. Peers[Rank] is this node's advertised address.
+	Peers []string
+	// Listen optionally overrides the local listen address (default:
+	// ":port" of Peers[Rank], binding all interfaces).
+	Listen string
+	// Listener optionally provides a pre-bound listener (tests use this
+	// with port 0 listeners); Listen is ignored when set.
+	Listener net.Listener
+	// FormationTimeout bounds cluster formation — dialing all peers and
+	// receiving all inbound connections (default 60s).
+	FormationTimeout time.Duration
+	// Logf receives connection lifecycle messages (default: silent).
+	Logf func(format string, args ...any)
+}
+
+// Transport is one node's endpoint of the TCP mesh. It satisfies
+// transport.Conn; see the package comment for semantics.
+type Transport struct {
+	rank, p int
+	start   time.Time
+	ln      net.Listener
+	logf    func(string, ...any)
+
+	box *mailbox
+
+	mu    sync.Mutex
+	out   []*link // rank-indexed outbound links; nil at own rank
+	in    []net.Conn
+	curIn []net.Conn // rank-indexed current inbound conn (stale readers stay benign)
+
+	messages atomic.Int64
+	words    atomic.Int64
+	bytes    atomic.Int64
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// link is one outbound (send-only) connection.
+type link struct {
+	mu   sync.Mutex
+	conn net.Conn
+	w    *bufio.Writer
+}
+
+// Dial forms this node's side of the cluster: it starts listening, opens a
+// directed connection to every peer (retrying while their listeners come
+// up), and waits until every peer has connected back, so a returned
+// Transport can immediately send to and receive from any rank.
+func Dial(cfg Config) (*Transport, error) {
+	p := len(cfg.Peers)
+	if p < 1 {
+		return nil, fmt.Errorf("tcpnet: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= p {
+		return nil, fmt.Errorf("tcpnet: rank %d outside peer list of %d", cfg.Rank, p)
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	t := &Transport{
+		rank:   cfg.Rank,
+		p:      p,
+		start:  time.Now(),
+		logf:   logf,
+		box:    newMailbox(),
+		out:    make([]*link, p),
+		curIn:  make([]net.Conn, p),
+		closed: make(chan struct{}),
+	}
+	if p == 1 {
+		t.ln = cfg.Listener // no mesh needed; adopt the listener for Addr/Close
+		return t, nil
+	}
+
+	ln := cfg.Listener
+	if ln == nil {
+		addr := cfg.Listen
+		if addr == "" {
+			_, port, err := net.SplitHostPort(cfg.Peers[cfg.Rank])
+			if err != nil {
+				return nil, fmt.Errorf("tcpnet: own peer entry %q: %w", cfg.Peers[cfg.Rank], err)
+			}
+			addr = ":" + port
+		}
+		var err error
+		if ln, err = net.Listen("tcp", addr); err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", addr, err)
+		}
+	}
+	t.ln = ln
+
+	timeout := cfg.FormationTimeout
+	if timeout <= 0 {
+		timeout = defaultFormation
+	}
+	deadline := time.Now().Add(timeout)
+
+	// Inbound side: accept until every other rank has connected (and keep
+	// accepting afterwards so a re-dialing peer can replace its link).
+	inbound := make(chan int, p)
+	go t.acceptLoop(inbound)
+
+	// Outbound side: dial every peer concurrently, retrying while their
+	// listeners come up.
+	var wg sync.WaitGroup
+	dialErrs := make([]error, p)
+	for peer := 0; peer < p; peer++ {
+		if peer == t.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(peer int) {
+			defer wg.Done()
+			dialErrs[peer] = t.dialPeer(peer, cfg.Peers[peer], deadline)
+		}(peer)
+	}
+	wg.Wait()
+	for peer, err := range dialErrs {
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d dialing peer %d: %w", t.rank, peer, err)
+		}
+	}
+
+	// Wait for the full inbound mesh.
+	seen := make([]bool, p)
+	need := p - 1
+	for need > 0 {
+		select {
+		case r := <-inbound:
+			if !seen[r] {
+				seen[r] = true
+				need--
+			}
+		case <-time.After(time.Until(deadline)):
+			t.Close()
+			return nil, fmt.Errorf("tcpnet: rank %d: cluster formation timed out with %d inbound peer(s) missing", t.rank, need)
+		case <-t.closed:
+			return nil, fmt.Errorf("tcpnet: transport closed during formation")
+		}
+	}
+	logf("tcpnet: rank %d/%d mesh up (%s)", t.rank, p, time.Since(t.start).Round(time.Millisecond))
+	return t, nil
+}
+
+// dialPeer opens the directed rank→peer connection, retrying with backoff
+// until the peer's listener accepts or the formation deadline passes.
+func (t *Transport) dialPeer(peer int, addr string, deadline time.Time) error {
+	backoff := 50 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true) // collectives are latency-bound
+			}
+			var hs [handshakeLen]byte
+			binary.LittleEndian.PutUint32(hs[0:4], handshakeMagic)
+			hs[4] = protocolVersion
+			binary.LittleEndian.PutUint32(hs[5:9], uint32(t.rank))
+			binary.LittleEndian.PutUint32(hs[9:13], uint32(t.p))
+			if _, err = conn.Write(hs[:]); err != nil {
+				// The peer's proxy/sidecar accepted the connect but reset
+				// before it was ready: same startup race as a refused
+				// dial, so fall through to the retry loop.
+				conn.Close()
+			} else {
+				t.mu.Lock()
+				t.out[peer] = &link{conn: conn, w: bufio.NewWriter(conn)}
+				t.mu.Unlock()
+				return nil
+			}
+		}
+		// The usual dial race at startup: the peer process exists but its
+		// listener is not up yet (connection refused / reset / unreachable
+		// host name in an orchestrated environment). Retry until the
+		// formation deadline.
+		select {
+		case <-t.closed:
+			return fmt.Errorf("transport closed")
+		default:
+		}
+		if time.Now().Add(backoff).After(deadline) {
+			return fmt.Errorf("no listener at %s before formation deadline: %w", addr, err)
+		}
+		time.Sleep(backoff)
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// acceptLoop accepts inbound connections for the life of the transport,
+// validates their handshake, and spawns a reader per peer. Replaced
+// connections (a peer re-dialing) supersede the previous reader, whose
+// conn keeps draining until EOF.
+func (t *Transport) acceptLoop(inbound chan<- int) {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.closed:
+			default:
+				t.logf("tcpnet: rank %d accept: %v", t.rank, err)
+			}
+			return
+		}
+		go func(conn net.Conn) {
+			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+			var hs [handshakeLen]byte
+			if _, err := io.ReadFull(conn, hs[:]); err != nil {
+				t.logf("tcpnet: rank %d: inbound handshake read: %v", t.rank, err)
+				conn.Close()
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			if m := binary.LittleEndian.Uint32(hs[0:4]); m != handshakeMagic {
+				t.logf("tcpnet: rank %d: inbound connection with bad magic %#x", t.rank, m)
+				conn.Close()
+				return
+			}
+			if v := hs[4]; v != protocolVersion {
+				t.logf("tcpnet: rank %d: inbound protocol version %d (want %d)", t.rank, v, protocolVersion)
+				conn.Close()
+				return
+			}
+			from := int(binary.LittleEndian.Uint32(hs[5:9]))
+			peerP := int(binary.LittleEndian.Uint32(hs[9:13]))
+			if peerP != t.p || from < 0 || from >= t.p || from == t.rank {
+				t.logf("tcpnet: rank %d: inbound peer claims rank %d of %d (cluster has %d)", t.rank, from, peerP, t.p)
+				conn.Close()
+				return
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			t.mu.Lock()
+			t.in = append(t.in, conn)
+			prev := t.curIn[from]
+			t.curIn[from] = conn
+			t.mu.Unlock()
+			if prev != nil {
+				prev.Close() // superseded by the peer's re-dial
+			}
+			select {
+			case inbound <- from:
+			default:
+			}
+			t.readLoop(from, conn)
+		}(conn)
+	}
+}
+
+// readLoop reads message frames from one inbound connection into the
+// mailbox until the connection closes. Framing or checksum violations —
+// and the peer going away, whether by RST or clean FIN — poison receives
+// from that peer: a blocked or future Recv(peer, ...) panics rather than
+// the sampler consuming a corrupt payload or blocking forever on a dead
+// cluster, while receives from still-live peers (e.g. during an orderly
+// staggered shutdown) stay valid. Only a locally-closed transport or a
+// superseded (re-dialed) connection ends the loop benignly.
+func (t *Transport) readLoop(from int, conn net.Conn) {
+	r := bufio.NewReader(conn)
+	var head [frameHeaderLen]byte
+	var partial []byte // accumulates fragments of an oversized message
+	for {
+		if _, err := io.ReadFull(r, head[:]); err != nil {
+			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d connection lost: %w", t.rank, from, err))
+			return
+		}
+		lenWord := binary.LittleEndian.Uint32(head[0:4])
+		n := lenWord &^ fragFlag
+		frag := lenWord&fragFlag != 0
+		tag := int(binary.LittleEndian.Uint32(head[4:8]))
+		// head[8:12] is the sender's cost-model word count; traffic is
+		// accounted sender-side, so the receiver does not store it.
+		sum := binary.LittleEndian.Uint32(head[12:16])
+		if n > maxFramePayload {
+			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d framed %d-byte payload (max %d)", t.rank, from, n, maxFramePayload))
+			return
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: reading %d-byte payload from peer %d: %w", t.rank, n, from, err))
+			return
+		}
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: CRC mismatch on message from peer %d tag %d (%#x != %#x)", t.rank, from, tag, got, sum))
+			return
+		}
+		if frag || partial != nil {
+			partial = append(partial, payload...)
+			if len(partial) > maxMessageBytes {
+				t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d message exceeds %d-byte cap", t.rank, from, maxMessageBytes))
+				return
+			}
+			if frag {
+				continue
+			}
+			payload, partial = partial, nil
+		}
+		t.box.put(inMsg{from: from, tag: tag, payload: payload})
+	}
+}
+
+// failFrom poisons receives from one peer unless this connection was
+// superseded by the peer's re-dial (a stale reader must stay benign — the
+// replacement link is healthy) or the transport is locally closed.
+func (t *Transport) failFrom(from int, conn net.Conn, err error) {
+	t.mu.Lock()
+	stale := t.curIn[from] != conn
+	t.mu.Unlock()
+	select {
+	case <-t.closed:
+		return
+	default:
+	}
+	if !stale {
+		t.box.failPeer(from, err)
+	}
+}
+
+// --- transport.Conn --------------------------------------------------------
+
+// ID implements transport.Conn.
+func (t *Transport) ID() int { return t.rank }
+
+// P implements transport.Conn.
+func (t *Transport) P() int { return t.p }
+
+// Send implements transport.Conn: gob-encode the payload and write one
+// framed message on the directed link to `to`.
+func (t *Transport) Send(to, tag int, payload any, words int) {
+	if words < 1 {
+		words = 1
+	}
+	if to == t.rank {
+		panic("tcpnet: send to self")
+	}
+	t.mu.Lock()
+	l := t.out[to]
+	t.mu.Unlock()
+	if l == nil {
+		panic(fmt.Sprintf("tcpnet: rank %d has no link to peer %d", t.rank, to))
+	}
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHeaderLen)) // header placeholder
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		panic(fmt.Sprintf("tcpnet: rank %d encoding message for peer %d tag %d: %v", t.rank, to, tag, err))
+	}
+	frame := buf.Bytes()
+	body := frame[frameHeaderLen:]
+	if len(body) > maxMessageBytes {
+		panic(fmt.Sprintf("tcpnet: rank %d: message for peer %d tag %d encodes to %d bytes, above the %d-byte message cap", t.rank, to, tag, len(body), maxMessageBytes))
+	}
+
+	l.mu.Lock()
+	err := writeFrames(l.w, tag, words, body)
+	if err == nil {
+		err = l.w.Flush()
+	}
+	l.mu.Unlock()
+	if err != nil {
+		panic(fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err))
+	}
+	t.messages.Add(1)
+	t.words.Add(int64(words))
+	t.bytes.Add(int64(len(body)))
+}
+
+// writeFrames writes one message as one frame, or — above the per-frame
+// cap — as a run of flagged fragments followed by a final unflagged frame.
+// Fragments of one message are contiguous on the connection (the caller
+// holds the link lock for the whole message), so the receiver reassembles
+// by simple accumulation.
+func writeFrames(w io.Writer, tag, words int, body []byte) error {
+	var head [frameHeaderLen]byte
+	for {
+		chunk := body
+		flag := uint32(0)
+		if len(chunk) > maxFramePayload {
+			chunk = body[:maxFramePayload]
+			flag = fragFlag
+		}
+		body = body[len(chunk):]
+		binary.LittleEndian.PutUint32(head[0:4], uint32(len(chunk))|flag)
+		binary.LittleEndian.PutUint32(head[4:8], uint32(tag))
+		binary.LittleEndian.PutUint32(head[8:12], uint32(words))
+		binary.LittleEndian.PutUint32(head[12:16], crc32.ChecksumIEEE(chunk))
+		if _, err := w.Write(head[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(chunk); err != nil {
+			return err
+		}
+		if flag == 0 {
+			return nil
+		}
+	}
+}
+
+// Recv implements transport.Conn: block for the (from, tag) message and
+// decode its payload. Transport failures (closed mesh, CRC mismatch,
+// undecodable payload) panic, mirroring the simulator's treatment of
+// protocol violations as programming errors.
+func (t *Transport) Recv(from, tag int) any {
+	m, err := t.box.get(from, tag)
+	if err != nil {
+		panic(err.Error())
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(m.payload)).Decode(&v); err != nil {
+		panic(fmt.Sprintf("tcpnet: rank %d decoding message from peer %d tag %d: %v", t.rank, from, tag, err))
+	}
+	return v
+}
+
+// Work implements transport.Conn. Real computation takes real time, so
+// there is no clock to advance.
+func (t *Transport) Work(float64) {}
+
+// Clock implements transport.Conn: wall-clock nanoseconds since Dial.
+func (t *Transport) Clock() float64 { return float64(time.Since(t.start)) }
+
+// Stats implements transport.StatsSource with this node's outgoing
+// traffic.
+func (t *Transport) Stats() transport.Stats {
+	return transport.Stats{
+		Messages: t.messages.Load(),
+		Words:    t.words.Load(),
+		Bytes:    t.bytes.Load(),
+	}
+}
+
+// Pending returns the number of received-but-unclaimed messages (tests use
+// it to detect leaks after a completed SPMD section).
+func (t *Transport) Pending() int { return t.box.pending() }
+
+// Close tears the mesh down. Blocked Recvs panic with a closed-transport
+// error; the caller is expected to be done with collective work.
+func (t *Transport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		if t.ln != nil {
+			t.ln.Close()
+		}
+		t.mu.Lock()
+		for _, l := range t.out {
+			if l != nil {
+				l.conn.Close()
+			}
+		}
+		for _, c := range t.in {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.box.fail(fmt.Errorf("tcpnet: rank %d: transport closed", t.rank))
+	})
+	return nil
+}
+
+// Addr returns the transport's bound listen address (useful with port-0
+// listeners). Nil for single-node clusters.
+func (t *Transport) Addr() net.Addr {
+	if t.ln == nil {
+		return nil
+	}
+	return t.ln.Addr()
+}
+
+// --- mailbox ---------------------------------------------------------------
+
+type inMsg struct {
+	from, tag int
+	payload   []byte
+}
+
+// mailbox is the (sender, tag)-matching receive queue, the wire analogue
+// of simnet's per-PE inbox. Failures are tracked per sender: a dead or
+// corrupt link only dooms receives from that peer (already-delivered
+// messages stay claimable), so during an orderly cluster shutdown a node
+// that exits first does not break a survivor's receive from a still-live
+// peer. A whole-mailbox failure (local transport close) fails everything.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []inMsg
+	err     error
+	peerErr map[int]error
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{peerErr: make(map[int]error)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(m inMsg) {
+	b.mu.Lock()
+	b.queue = append(b.queue, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(from, tag int) (inMsg, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.queue {
+			if m.from == from && m.tag == tag {
+				b.queue = append(b.queue[:i], b.queue[i+1:]...)
+				return m, nil
+			}
+		}
+		if b.err != nil {
+			return inMsg{}, b.err
+		}
+		if err := b.peerErr[from]; err != nil {
+			return inMsg{}, err
+		}
+		b.cond.Wait()
+	}
+}
+
+// fail poisons the whole mailbox: all blocked and future receives return
+// err.
+func (b *mailbox) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// failPeer poisons receives from one sender: blocked and future receives
+// from that peer return err once no matching message is queued.
+func (b *mailbox) failPeer(from int, err error) {
+	b.mu.Lock()
+	if b.peerErr[from] == nil {
+		b.peerErr[from] = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.queue)
+}

@@ -1,0 +1,159 @@
+package reservoir
+
+import (
+	"fmt"
+
+	"reservoir/internal/coll"
+	"reservoir/internal/core"
+	"reservoir/internal/transport"
+)
+
+// Node is one PE of a distributed sampling cluster running over a real
+// transport: where Cluster simulates all p PEs inside one process, a Node
+// is a single PE whose peers live in other OS processes, connected through
+// a transport.Conn (in practice internal/transport/tcpnet, wired up by
+// reservoir-serve's node mode; see docs/DEPLOY.md).
+//
+// All sampling methods are SPMD collectives: every node of the cluster
+// must call the same methods in the same order with equivalent arguments,
+// or the cluster deadlocks. Each node feeds its own local mini-batch per
+// round; the threshold selection runs across the real network. Given the
+// same configuration and per-PE input stream, a Node cluster produces a
+// sample byte-identical to the simulated Cluster (the transport
+// equivalence suite pins this).
+//
+// A Node is not safe for concurrent use; drive it from one goroutine.
+type Node struct {
+	comm    *coll.Comm
+	conn    transport.Conn
+	sampler core.Sampler
+	algo    Algorithm
+	round   int
+}
+
+// NewNode creates this process's PE of a multi-process cluster. Every
+// process must pass an identical Config (and WithAlgorithm option) or the
+// collective protocol diverges.
+func NewNode(conn transport.Conn, cfg Config, opts ...Option) (*Node, error) {
+	o := options{algo: Distributed}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	validated := cfg
+	if validated.Model == (CostModel{}) {
+		validated.Model = DefaultCostModel()
+	}
+	comm := coll.New(conn)
+	n := &Node{comm: comm, conn: conn, algo: o.algo}
+	var err error
+	switch o.algo {
+	case CentralizedGather:
+		n.sampler, err = core.NewGatherPE(comm, validated)
+	default:
+		n.sampler, err = core.NewDistPE(comm, validated)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Rank returns this node's rank in 0..P()-1.
+func (n *Node) Rank() int { return n.comm.Rank() }
+
+// P returns the cluster size.
+func (n *Node) P() int { return n.comm.P() }
+
+// Round returns the number of mini-batch rounds processed so far.
+func (n *Node) Round() int { return n.round }
+
+// Algorithm returns the sampler implementation the cluster runs.
+func (n *Node) Algorithm() Algorithm { return n.algo }
+
+// ProcessBatch ingests this node's mini-batch for the current round and
+// runs the collective threshold update (SPMD: all nodes must call it).
+func (n *Node) ProcessBatch(b Batch) {
+	n.sampler.ProcessBatch(b)
+	n.round++
+}
+
+// ProcessRound ingests this node's next mini-batch from src (SPMD).
+func (n *Node) ProcessRound(src Source) {
+	n.ProcessBatch(src.NextBatch(n.Rank(), n.round))
+}
+
+// CollectSample gathers the global sample at rank 0, which receives the
+// full item slice; other ranks receive nil (SPMD).
+func (n *Node) CollectSample() []Item { return n.sampler.CollectSample() }
+
+// LocalSample returns this node's part of the sample without any
+// communication.
+func (n *Node) LocalSample() []Item { return n.sampler.LocalSample() }
+
+// SampleSize returns the current global sample size (agreed by all nodes
+// after each round; no communication).
+func (n *Node) SampleSize() int { return n.sampler.SampleSize() }
+
+// Threshold returns the current global key threshold and whether one has
+// been established (no communication).
+func (n *Node) Threshold() (float64, bool) { return n.sampler.Threshold() }
+
+// Timing returns this node's accumulated per-phase times — wall-clock
+// nanoseconds on real transports.
+func (n *Node) Timing() Timing { return n.sampler.Timing() }
+
+// Counters returns this node's accumulated operation counts.
+func (n *Node) Counters() Counters { return n.sampler.Counters() }
+
+// ClockNS returns the transport's clock in nanoseconds (wall time since
+// the mesh came up on tcpnet).
+func (n *Node) ClockNS() float64 { return n.conn.Clock() }
+
+// NetworkStats returns this node's own traffic counters, if the transport
+// reports them (zero otherwise). See ClusterNetworkStats for the
+// cluster-wide view.
+func (n *Node) NetworkStats() NetworkStats {
+	if s, ok := n.conn.(transport.StatsSource); ok {
+		return statsFromTransport(s.Stats())
+	}
+	return NetworkStats{}
+}
+
+// ClusterNetworkStats sums every node's traffic counters with one
+// all-reduction and returns the total on every node (SPMD).
+func (n *Node) ClusterNetworkStats() NetworkStats {
+	local := n.NetworkStats()
+	return coll.AllReduce(n.comm, local, func(a, b NetworkStats) NetworkStats {
+		return NetworkStats{
+			Messages: a.Messages + b.Messages,
+			Words:    a.Words + b.Words,
+			Bytes:    a.Bytes + b.Bytes,
+		}
+	}, 3)
+}
+
+// ClusterCounters sums every node's operation counters with one
+// all-reduction and returns the total on every node (SPMD).
+func (n *Node) ClusterCounters() Counters {
+	return coll.AllReduce(n.comm, n.sampler.Counters(), func(a, b Counters) Counters {
+		a.Add(b)
+		return a
+	}, 6)
+}
+
+// Seen returns the global number of items processed so far, as known by
+// this node (no communication).
+func (n *Node) Seen() int64 { return n.sampler.Seen() }
+
+// BroadcastValue distributes v from the root rank to every node of n's
+// cluster and returns it on all of them (SPMD). It shares the node's
+// collective tag sequence, so control planes built on it (like
+// reservoir-serve's node mode, which broadcasts commands between rounds)
+// stay in lockstep with the sampling collectives. words is v's size in
+// 8-byte machine words under the cost model.
+func BroadcastValue[T any](n *Node, root int, v T, words int) T {
+	if root < 0 || root >= n.P() {
+		panic(fmt.Sprintf("reservoir: broadcast root %d outside cluster of %d", root, n.P()))
+	}
+	return coll.Broadcast(n.comm, root, v, words)
+}

@@ -11,15 +11,20 @@
 // globally k-th smallest key — the insertion threshold for the next batch —
 // with a communication-efficient distributed selection algorithm.
 //
-// The distributed machine is simulated: PEs are goroutines, messages pass
+// The collective algorithms run over a pluggable transport. By default
+// the distributed machine is simulated: PEs are goroutines, messages pass
 // through an in-process network that charges the α+βℓ cost model of the
-// paper on deterministic virtual clocks. The algorithms run for real;
-// only their reported times come from the model (see DESIGN.md).
+// paper on deterministic virtual clocks. The same algorithms also run
+// across real OS processes over TCP (reservoir-serve's node mode, the
+// Node type), producing byte-identical samples for the same seed and
+// stream (see DESIGN.md §2).
 //
 // Entry points:
 //
 //   - Cluster: the distributed sampler (or the centralized gathering
 //     baseline) over p simulated PEs; see NewCluster.
+//   - Node: one PE of a real multi-process cluster over a network
+//     transport; see NewNode and docs/DEPLOY.md.
 //   - SequentialWeighted / SequentialUniform: single-stream reservoir
 //     samplers with the paper's skip-value optimizations; see NewWeighted
 //     and NewUniform.

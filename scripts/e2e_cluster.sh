@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# End-to-end multi-process cluster check: launch p reservoir-serve node
+# processes on localhost, ingest a weighted synthetic stream through the
+# rank-0 control API with reservoir-loadgen, verify the merged sample is
+# byte-identical to a simulator replay with reservoir-verify -match, and
+# leave BENCH_distributed.json + the sample dump behind as artifacts.
+#
+# Usage: scripts/e2e_cluster.sh [p] [rounds] [batch]
+set -euo pipefail
+
+P="${1:-4}"
+ROUNDS="${2:-30}"
+BATCH="${3:-20000}"
+K="${K:-256}"
+SEED="${SEED:-424242}"
+ALGO="${ALGO:-ours}"
+BASE_PORT="${BASE_PORT:-19400}"
+CONTROL_PORT="${CONTROL_PORT:-19490}"
+OUT="${OUT:-BENCH_distributed.json}"
+SAMPLE_OUT="${SAMPLE_OUT:-cluster_sample.json}"
+
+cd "$(dirname "$0")/.."
+
+echo "== building binaries"
+go build -o /tmp/reservoir-serve ./cmd/reservoir-serve
+go build -o /tmp/reservoir-loadgen ./cmd/reservoir-loadgen
+go build -o /tmp/reservoir-verify ./cmd/reservoir-verify
+
+PEERS=""
+for ((i = 0; i < P; i++)); do
+  PEERS="${PEERS:+$PEERS,}127.0.0.1:$((BASE_PORT + i))"
+done
+
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+echo "== launching $P node processes (peers: $PEERS)"
+for ((i = 0; i < P; i++)); do
+  ADDR_ARG=""
+  if [ "$i" -eq 0 ]; then
+    ADDR_ARG="-addr 127.0.0.1:$CONTROL_PORT"
+  fi
+  # shellcheck disable=SC2086
+  /tmp/reservoir-serve -peer-id "$i" -peers "$PEERS" $ADDR_ARG \
+    -k "$K" -seed "$SEED" -algo "$ALGO" &
+  PIDS+=($!)
+done
+
+echo "== waiting for the control API"
+for i in $(seq 1 100); do
+  if curl -sf "http://127.0.0.1:$CONTROL_PORT/healthz" >/dev/null 2>&1; then
+    break
+  fi
+  if [ "$i" -eq 100 ]; then
+    echo "cluster control API never came up" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+curl -s "http://127.0.0.1:$CONTROL_PORT/healthz"
+echo
+
+echo "== driving $ROUNDS rounds of $BATCH items/PE"
+/tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
+  -rounds "$ROUNDS" -batch "$BATCH" \
+  -name distributed -out "$OUT" -sample-out "$SAMPLE_OUT"
+
+echo "== verifying the merged sample against a simulator replay"
+/tmp/reservoir-verify -match "$SAMPLE_OUT"
+
+echo "== shutting the cluster down"
+curl -sf -X POST "http://127.0.0.1:$CONTROL_PORT/v1/cluster/shutdown"
+echo
+for pid in "${PIDS[@]}"; do
+  if ! wait "$pid"; then
+    echo "node process $pid exited non-zero" >&2
+    exit 1
+  fi
+done
+trap - EXIT
+
+echo "== e2e OK: $OUT and $SAMPLE_OUT written"
