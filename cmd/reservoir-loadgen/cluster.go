@@ -20,11 +20,66 @@ import (
 // stats endpoint. With -sample-out it additionally fetches the merged
 // sample and writes a dump that reservoir-verify -match can replay on the
 // simulator — the end-to-end determinism check of the multi-process path.
+// clusterClient issues control-API requests, optionally surviving chaos:
+// with -chaos, connection errors and 5xx responses (a node was killed,
+// the cluster is resyncing, rank 0 itself is restarting) are retried
+// with backoff until -chaos-timeout passes without any success. A round
+// acknowledged by the cluster but whose response was lost to a rank-0
+// kill may execute once more on retry; that keeps the dump verifiable —
+// reservoir-verify -match replays exactly the executed round count from
+// the final stats.
+type clusterClient struct {
+	hc    *http.Client
+	base  string
+	chaos bool
+	wait  time.Duration
+}
+
+// do runs one request until it succeeds (2xx) or retries are exhausted.
+func (c *clusterClient) do(what string, req func() (*http.Response, error)) []byte {
+	deadline := time.Now().Add(c.wait)
+	for {
+		resp, err := req()
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode/100 == 2 {
+				return data
+			}
+			err = fmt.Errorf("%s: %s", resp.Status, data)
+		}
+		if !c.chaos {
+			fatalf("%s: %v", what, err)
+		}
+		if time.Now().After(deadline) {
+			fatalf("%s: still failing after %s of chaos retries: %v", what, c.wait, err)
+		}
+		fmt.Printf("reservoir-loadgen: %s failed (%v); retrying\n", what, err)
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+func (c *clusterClient) stats() nodesvc.Stats {
+	data := c.do("cluster stats", func() (*http.Response, error) {
+		return c.hc.Get(c.base + "/v1/cluster/stats")
+	})
+	var st nodesvc.Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		fatalf("decoding cluster stats %q: %v", data, err)
+	}
+	return st
+}
+
 func runClusterBench(cfg config) {
-	client := &http.Client{Timeout: 5 * time.Minute}
+	client := &clusterClient{
+		hc:    &http.Client{Timeout: 5 * time.Minute},
+		base:  cfg.cluster,
+		chaos: cfg.chaos,
+		wait:  cfg.chaosWait,
+	}
 	base := cfg.cluster
 
-	initial := clusterStats(client, base)
+	initial := client.stats()
 	fmt.Printf("reservoir-loadgen: cluster at %s: p=%d k=%d algo=%s seed=%d rounds=%d\n",
 		base, initial.P, initial.K, initial.Algorithm, initial.Seed, initial.Rounds)
 	if cfg.sampleOut != "" {
@@ -46,7 +101,7 @@ func runClusterBench(cfg config) {
 
 	var lastSpec service.SyntheticSpec
 	for _, batch := range cfg.batch {
-		before := clusterStats(client, base)
+		before := client.stats()
 		spec := service.SyntheticSpec{BatchLen: batch, Rounds: 1}
 		lastSpec = spec
 		body, _ := json.Marshal(map[string]any{"synthetic": spec})
@@ -55,19 +110,16 @@ func runClusterBench(cfg config) {
 		start := time.Now()
 		for r := 0; r < cfg.rounds; r++ {
 			t0 := time.Now()
-			resp, err := client.Post(base+"/v1/cluster/rounds", "application/json", bytes.NewReader(body))
-			if err != nil {
-				fatalf("round %d: %v", r, err)
-			}
-			data, _ := io.ReadAll(resp.Body)
-			resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				fatalf("round %d: %s: %s", r, resp.Status, data)
-			}
+			client.do(fmt.Sprintf("round %d", r), func() (*http.Response, error) {
+				return client.hc.Post(base+"/v1/cluster/rounds", "application/json", bytes.NewReader(body))
+			})
 			durs = append(durs, time.Since(t0))
+			if cfg.interval > 0 {
+				time.Sleep(cfg.interval)
+			}
 		}
 		elapsed := time.Since(start)
-		after := clusterStats(client, base)
+		after := client.stats()
 
 		rounds := after.Rounds - before.Rounds
 		items := after.ItemsProcessed - before.ItemsProcessed
@@ -102,19 +154,13 @@ func runClusterBench(cfg config) {
 
 // writeSampleDump captures the cluster's merged sample plus everything a
 // replay needs into one self-describing file.
-func writeSampleDump(client *http.Client, base, path string, spec service.SyntheticSpec) {
-	st := clusterStats(client, base)
-	resp, err := client.Get(base + "/v1/cluster/sample")
-	if err != nil {
-		fatalf("fetching sample: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		fatalf("fetching sample: %s: %s", resp.Status, data)
-	}
+func writeSampleDump(client *clusterClient, base, path string, spec service.SyntheticSpec) {
+	st := client.stats()
+	data := client.do("fetching sample", func() (*http.Response, error) {
+		return client.hc.Get(base + "/v1/cluster/sample")
+	})
 	var sr nodesvc.SampleResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+	if err := json.Unmarshal(data, &sr); err != nil {
 		fatalf("decoding sample: %v", err)
 	}
 	dump := nodesvc.SampleDump{
@@ -136,23 +182,6 @@ func writeSampleDump(client *http.Client, base, path string, spec service.Synthe
 	}
 	fmt.Printf("wrote %d-item sample dump to %s (verify with: reservoir-verify -match %s)\n",
 		len(sr.Items), path, path)
-}
-
-func clusterStats(client *http.Client, base string) nodesvc.Stats {
-	resp, err := client.Get(base + "/v1/cluster/stats")
-	if err != nil {
-		fatalf("cluster stats: %v", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		data, _ := io.ReadAll(resp.Body)
-		fatalf("cluster stats: %s: %s", resp.Status, data)
-	}
-	var st nodesvc.Stats
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		fatalf("decoding cluster stats: %v", err)
-	}
-	return st
 }
 
 func perRoundF(v int64, rounds int) float64 {

@@ -65,6 +65,9 @@ type config struct {
 	data      string
 	fsync     string
 	sampleOut string
+	chaos     bool
+	chaosWait time.Duration
+	interval  time.Duration
 }
 
 func main() {
@@ -89,6 +92,9 @@ func main() {
 	flag.StringVar(&cfg.data, "data", "", "persistence directory for the in-process server (empty = persistence off; ignored with -addr)")
 	flag.StringVar(&cfg.fsync, "fsync", "interval", "WAL fsync policy with -data: always, interval, or off")
 	flag.StringVar(&cfg.sampleOut, "sample-out", "", "with -cluster: write the merged sample as a verifiable dump for reservoir-verify -match")
+	flag.BoolVar(&cfg.chaos, "chaos", false, "with -cluster: tolerate node kill/restart cycles — retry requests through connection errors and control-plane downtime")
+	flag.DurationVar(&cfg.chaosWait, "chaos-timeout", 3*time.Minute, "with -chaos: give up after this long without a successful request")
+	flag.DurationVar(&cfg.interval, "interval", 0, "with -cluster: pause between round requests (gives a chaos harness time to inject faults mid-run)")
 	flag.Parse()
 
 	var err error
@@ -109,6 +115,9 @@ func main() {
 	}
 	if cfg.sampleOut != "" && cfg.cluster == "" {
 		fatalf("-sample-out requires -cluster")
+	}
+	if (cfg.chaos || cfg.interval > 0) && cfg.cluster == "" {
+		fatalf("-chaos and -interval require -cluster")
 	}
 
 	if cfg.cluster != "" {

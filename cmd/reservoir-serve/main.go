@@ -24,6 +24,17 @@
 //	reservoir-serve -peer-id 0 -peers host0:9000,host1:9000 -k 256 -seed 1
 //	reservoir-serve -peer-id 1 -peers host0:9000,host1:9000 -k 256 -seed 1
 //
+// Node mode is chaos-hardened on demand: -rejoin-timeout plus a per-node
+// -data store make the cluster survive kill -9 + restart of any node
+// (rank 0 included) — each node checkpoints every round boundary, the
+// survivors redial, and the cluster resyncs to the last common boundary
+// and re-executes only the missing work, reproducing the byte-identical
+// sample of an uninterrupted run. The -fault-* flags instead inject a
+// deterministic seeded schedule of network faults (drops, duplicates,
+// corrupt frames, delays; internal/transport/faultnet) that never
+// changes the sample, only retries and latency. See docs/DEPLOY.md
+// "Failure model" and "Chaos testing".
+//
 // With -data, every run is durable: its config and each ingest round are
 // written to a per-run write-ahead log before the round applies, and full
 // sampler snapshots are checkpointed periodically. After a crash or
@@ -71,6 +82,13 @@ func main() {
 	nodeAlgo := flag.String("algo", "ours", "node mode: sampling algorithm, ours or gather (identical on all nodes)")
 	nodeUniform := flag.Bool("uniform", false, "node mode: uniform (unweighted) sampling (identical on all nodes)")
 	formation := flag.Duration("formation-timeout", 60*time.Second, "node mode: cluster formation deadline")
+	rejoin := flag.Duration("rejoin-timeout", 0, "node mode: tolerate node crash-restarts within this window (0 = strict reliable-PE semantics)")
+	faultSeed := flag.Uint64("fault-seed", 1, "node mode: deterministic fault-injection schedule seed")
+	faultDrop := flag.Float64("fault-drop", 0, "node mode: per-message drop (retransmit) probability [0,1)")
+	faultDup := flag.Float64("fault-dup", 0, "node mode: per-message duplicate probability [0,1)")
+	faultCorrupt := flag.Float64("fault-corrupt", 0, "node mode: per-message corrupt-copy probability [0,1)")
+	faultDelay := flag.Float64("fault-delay", 0, "node mode: per-message delay probability [0,1)")
+	faultDelayNS := flag.Duration("fault-delay-ns", time.Millisecond, "node mode: latency charged per injected delay")
 	flag.Parse()
 
 	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
@@ -79,20 +97,39 @@ func main() {
 	}
 
 	if *peers != "" {
-		if *data != "" {
-			fmt.Fprintln(os.Stderr, "reservoir-serve: -data is not supported in node mode (-peers)")
+		fault := faultConfig{
+			seed: *faultSeed, drop: *faultDrop, dup: *faultDup,
+			corrupt: *faultCorrupt, delay: *faultDelay, delayNS: *faultDelayNS,
+		}
+		if fault.active() && *rejoin > 0 {
+			// faultnet wraps the transport and hides the recovery
+			// control surface; combining them would silently disable
+			// crash-restart tolerance. Chaos runs use one or the other.
+			fmt.Fprintln(os.Stderr, "reservoir-serve: -fault-* schedules and -rejoin-timeout are mutually exclusive")
+			os.Exit(2)
+		}
+		if *data != "" && *rejoin <= 0 {
+			// Persistence without the resync protocol could restore
+			// nodes to checkpoints one round apart and silently diverge
+			// the sample on the next ingest.
+			fmt.Fprintln(os.Stderr, "reservoir-serve: node-mode -data requires -rejoin-timeout (recovery needs the resync protocol)")
 			os.Exit(2)
 		}
 		runNode(nodeConfig{
-			peerID:    *peerID,
-			peers:     strings.Split(*peers, ","),
-			addr:      *addr,
-			k:         *nodeK,
-			seed:      *nodeSeed,
-			algo:      *nodeAlgo,
-			uniform:   *nodeUniform,
-			formation: *formation,
-			logf:      logf,
+			peerID:     *peerID,
+			peers:      strings.Split(*peers, ","),
+			addr:       *addr,
+			k:          *nodeK,
+			seed:       *nodeSeed,
+			algo:       *nodeAlgo,
+			uniform:    *nodeUniform,
+			formation:  *formation,
+			rejoin:     *rejoin,
+			data:       *data,
+			fsync:      *fsync,
+			fsyncEvery: *fsyncEvery,
+			fault:      fault,
+			logf:       logf,
 		})
 		return
 	}

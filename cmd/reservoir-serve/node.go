@@ -10,21 +10,46 @@ import (
 
 	"reservoir"
 	"reservoir/internal/nodesvc"
+	"reservoir/internal/store"
+	"reservoir/internal/transport"
+	"reservoir/internal/transport/faultnet"
 	"reservoir/internal/transport/tcpnet"
 )
 
 // nodeConfig collects the node-mode flags.
 type nodeConfig struct {
-	peerID    int
-	peers     []string
-	addr      string
-	k         int
-	seed      uint64
-	algo      string
-	uniform   bool
-	formation time.Duration
-	logf      func(string, ...any)
+	peerID     int
+	peers      []string
+	addr       string
+	k          int
+	seed       uint64
+	algo       string
+	uniform    bool
+	formation  time.Duration
+	rejoin     time.Duration
+	data       string
+	fsync      string
+	fsyncEvery time.Duration
+	fault      faultConfig
+	logf       func(string, ...any)
 }
+
+// faultConfig collects the fault-injection flags (deterministic chaos
+// without killing processes; see internal/transport/faultnet).
+type faultConfig struct {
+	seed                      uint64
+	drop, dup, corrupt, delay float64
+	delayNS                   time.Duration
+}
+
+func (f faultConfig) active() bool {
+	return f.drop > 0 || f.dup > 0 || f.corrupt > 0 || f.delay > 0
+}
+
+// snapshotRetention is the per-node checkpoint history depth: enough for
+// a restarted node to roll back to whichever round boundary the
+// survivors agree on (the lockstep rounds keep the spread ≤ 1).
+const snapshotRetention = 4
 
 // runNode turns this process into one PE of a multi-process cluster: dial
 // the TCP mesh, then serve (rank 0) or follow (other ranks) until the
@@ -55,11 +80,30 @@ func runNode(cfg nodeConfig) {
 		os.Exit(2)
 	}
 
+	var st *store.Store
+	if cfg.data != "" {
+		policy, err := store.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+			os.Exit(2)
+		}
+		st, err = store.Open(cfg.data,
+			store.WithFsync(policy),
+			store.WithFsyncInterval(cfg.fsyncEvery),
+			store.WithSnapshotRetention(snapshotRetention))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
+
 	cfg.logf("node %d/%d forming cluster (%s)", cfg.peerID, len(cfg.peers), cfg.algo)
 	tr, err := tcpnet.Dial(tcpnet.Config{
 		Rank:             cfg.peerID,
 		Peers:            cfg.peers,
 		FormationTimeout: cfg.formation,
+		RejoinTimeout:    cfg.rejoin,
 		Logf:             cfg.logf,
 	})
 	if err != nil {
@@ -68,11 +112,27 @@ func runNode(cfg nodeConfig) {
 	}
 	defer tr.Close()
 
+	var conn transport.Conn = tr
+	if cfg.fault.active() {
+		cfg.logf("node %d: fault injection on (seed=%d drop=%g dup=%g corrupt=%g delay=%g)",
+			cfg.peerID, cfg.fault.seed, cfg.fault.drop, cfg.fault.dup, cfg.fault.corrupt, cfg.fault.delay)
+		conn = faultnet.New(tr, faultnet.Config{
+			Seed:      cfg.fault.seed,
+			Drop:      cfg.fault.drop,
+			Duplicate: cfg.fault.dup,
+			Corrupt:   cfg.fault.corrupt,
+			Delay:     cfg.fault.delay,
+			DelayNS:   float64(cfg.fault.delayNS),
+			WallDelay: true, // tcpnet is wall-clock; Work alone charges nothing
+		})
+	}
+
 	srv, err := nodesvc.New(nodesvc.Options{
-		Conn:      tr,
+		Conn:      conn,
 		Config:    reservoir.Config{K: cfg.k, Weighted: !cfg.uniform, Seed: cfg.seed},
 		Algorithm: algo,
 		Addr:      cfg.addr,
+		Store:     st,
 		Logf:      cfg.logf,
 	})
 	if err != nil {

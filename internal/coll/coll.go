@@ -59,6 +59,15 @@ func (c *Comm) nextTag() int {
 	return t
 }
 
+// Reset rewinds the communicator's operation counter, so the next
+// collective reuses the tag sequence from the beginning. It is only safe
+// when every PE of the cluster resets in lockstep with no collective in
+// flight and no undelivered messages of the old sequence — exactly the
+// state the transport layer's epoch-based recovery establishes after a
+// failed round (stale-epoch messages are discarded, so reused tags
+// cannot match them). Outside recovery, never call this.
+func (c *Comm) Reset() { c.seq = 0 }
+
 // Op is an associative combining function. Collectives apply it in rank
 // order (op(lower-rank acc, higher-rank acc)), so non-commutative but
 // associative operations are deterministic under Reduce. AllReduce's

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"reservoir/internal/coll"
+	"reservoir/internal/simnet"
+	"reservoir/internal/workload"
+)
+
+// TestGatherPESnapshotRoundTrip: snapshot every PE of a gather cluster
+// mid-run, restore into a fresh twin cluster, and continue both — the
+// samples must stay byte-identical (reservoir contents, thresholds, and
+// PRNG state all survive the round trip).
+func TestGatherPESnapshotRoundTrip(t *testing.T) {
+	const p, k, batch = 3, 24, 400
+	cfg := Config{K: k, Weighted: true, Seed: 99}
+	src := workload.UniformSource{Seed: 7, BatchLen: batch, Lo: 0, Hi: 100}
+
+	run := func(preRounds, postRounds int, snapshotAt bool) ([]workload.Item, [][]byte) {
+		cl := simnet.NewCluster(p, simnet.DefaultCost())
+		blobs := make([][]byte, p)
+		var sample []workload.Item
+		var mu sync.Mutex
+		cl.Parallel(func(pe *simnet.PE) {
+			g, err := NewGatherPE(coll.New(pe), cfg)
+			if err != nil {
+				panic(err)
+			}
+			round := 0
+			for ; round < preRounds; round++ {
+				g.ProcessBatch(src.NextBatch(pe.ID(), round))
+			}
+			var blob []byte
+			if snapshotAt {
+				if blob, err = g.MarshalBinary(); err != nil {
+					panic(err)
+				}
+				// Restore into a *fresh* PE to prove the blob is complete.
+				g2, err := NewGatherPE(coll.New(pe), cfg)
+				if err != nil {
+					panic(err)
+				}
+				if err := g2.UnmarshalBinary(blob); err != nil {
+					panic(err)
+				}
+				g = g2
+			}
+			for ; round < preRounds+postRounds; round++ {
+				g.ProcessBatch(src.NextBatch(pe.ID(), round))
+			}
+			s := g.CollectSample()
+			mu.Lock()
+			blobs[pe.ID()] = blob
+			if pe.ID() == 0 {
+				sample = s
+			}
+			mu.Unlock()
+		})
+		return sample, blobs
+	}
+
+	want, _ := run(2, 3, false)
+	got, blobs := run(2, 3, true)
+	if len(want) != len(got) || len(want) != k {
+		t.Fatalf("sample sizes: uninterrupted %d, restored %d, want %d", len(want), len(got), k)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("sample[%d]: uninterrupted %+v vs restored %+v", i, want[i], got[i])
+		}
+	}
+	for rank, b := range blobs {
+		if len(b) == 0 {
+			t.Fatalf("rank %d produced an empty snapshot", rank)
+		}
+	}
+
+	// Corruption and rank mismatches are rejected.
+	cl := simnet.NewCluster(p, simnet.DefaultCost())
+	cl.Parallel(func(pe *simnet.PE) {
+		g, err := NewGatherPE(coll.New(pe), cfg)
+		if err != nil {
+			panic(err)
+		}
+		other := (pe.ID() + 1) % p
+		if err := g.UnmarshalBinary(blobs[other]); err == nil {
+			panic("snapshot of another rank accepted")
+		}
+		if err := g.UnmarshalBinary(blobs[pe.ID()][:10]); err == nil {
+			panic("truncated snapshot accepted")
+		}
+		if err := g.UnmarshalBinary(append(append([]byte(nil), blobs[pe.ID()]...), 0xA5)); err == nil {
+			panic("trailing bytes accepted")
+		}
+	})
+}

@@ -1,0 +1,381 @@
+package nodesvc
+
+// Crash-restart chaos tests: a real tcpnet mesh (fault-tolerant mode)
+// with per-node stores, nodes killed hard (transport torn down, store
+// abandoned with files as-is — the in-process stand-in for kill -9) and
+// restarted from their persisted boundary. The cluster must resync,
+// finish every requested round, and produce the byte-identical sample of
+// an uninterrupted simulator run. scripts/chaos_cluster.sh repeats this
+// with real OS processes in CI.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"reservoir"
+	"reservoir/internal/service"
+	"reservoir/internal/store"
+	"reservoir/internal/transport/tcpnet"
+)
+
+const chaosRejoin = 30 * time.Second
+
+type chaosNode struct {
+	rank int
+	dir  string
+	tr   *tcpnet.Transport
+	st   *store.Store
+	err  chan error // Run's result
+}
+
+func tlogf(t *testing.T) func(string, ...any) {
+	start := time.Now()
+	return func(f string, args ...any) {
+		t.Logf("[%7.3fs] "+f, append([]any{time.Since(start).Seconds()}, args...)...)
+	}
+}
+
+type chaosCluster struct {
+	logf    func(string, ...any)
+	t       *testing.T
+	peers   []string
+	cfg     reservoir.Config
+	algo    reservoir.Algorithm
+	ctrl    net.Listener
+	ctrlAdr string
+	nodes   []*chaosNode
+}
+
+// startChaosCluster brings up a p-node fault-tolerant cluster with one
+// store per node.
+func startChaosCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algorithm) *chaosCluster {
+	t.Helper()
+	lns := make([]net.Listener, p)
+	peers := make([]string, p)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	ctrl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &chaosCluster{
+		t: t, logf: tlogf(t), peers: peers, cfg: cfg, algo: algo,
+		ctrl: ctrl, ctrlAdr: "http://" + ctrl.Addr().String(),
+		nodes: make([]*chaosNode, p),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c.launch(rank, lns[rank], t.TempDir())
+		}(i)
+	}
+	wg.Wait()
+	return c
+}
+
+// launch starts (or restarts) one node. ln may be nil to rebind the
+// node's fixed peer address.
+func (c *chaosCluster) launch(rank int, ln net.Listener, dir string) {
+	if ln == nil {
+		var err error
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			ln, err = net.Listen("tcp", c.peers[rank])
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				c.t.Errorf("rebinding %s: %v", c.peers[rank], err)
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	st, err := store.Open(dir, store.WithFsync(store.FsyncOff), store.WithSnapshotRetention(4))
+	if err != nil {
+		c.t.Errorf("rank %d store: %v", rank, err)
+		return
+	}
+	tr, err := tcpnet.Dial(tcpnet.Config{
+		Rank: rank, Peers: c.peers, Listener: ln,
+		FormationTimeout: 30 * time.Second, RejoinTimeout: chaosRejoin,
+		Logf: c.logf,
+	})
+	if err != nil {
+		c.t.Errorf("rank %d dial: %v", rank, err)
+		return
+	}
+	opts := Options{Conn: tr, Config: c.cfg, Algorithm: c.algo, Store: st, Logf: c.logf}
+	if rank == 0 {
+		opts.Listener = c.ctrl
+	}
+	srv, err := New(opts)
+	if err != nil {
+		c.t.Errorf("rank %d new: %v", rank, err)
+		return
+	}
+	n := &chaosNode{rank: rank, dir: dir, tr: tr, st: st, err: make(chan error, 1)}
+	c.nodes[rank] = n
+	go func() { n.err <- srv.Run() }()
+}
+
+// kill tears a node down the hard way: transport closed (peers see the
+// connections drop, as with a process death) and the store abandoned
+// with its files exactly as they are.
+func (c *chaosCluster) kill(rank int) {
+	n := c.nodes[rank]
+	n.st.Abandon()
+	n.tr.Close()
+	select {
+	case <-n.err: // Run exited (with a transport-closed error)
+	case <-time.After(20 * time.Second):
+		c.t.Fatalf("killed node %d did not exit", rank)
+	}
+}
+
+// restart relaunches a killed node from its on-disk state.
+func (c *chaosCluster) restart(rank int) {
+	c.launch(rank, nil, c.nodes[rank].dir)
+}
+
+func (c *chaosCluster) post(path string, body any, out any) (*http.Response, []byte) {
+	c.t.Helper()
+	resp, data := postJSON(c.t, c.ctrlAdr+path, body)
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			c.t.Fatalf("decoding %s response %q: %v", path, data, err)
+		}
+	}
+	return resp, data
+}
+
+// shutdownAll shuts the cluster down through the control API and waits
+// for every live node.
+func (c *chaosCluster) shutdownAll() {
+	c.t.Helper()
+	resp, data := c.post("/v1/cluster/shutdown", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		c.t.Fatalf("shutdown: %s: %s", resp.Status, data)
+	}
+	for _, n := range c.nodes {
+		select {
+		case err := <-n.err:
+			if err != nil {
+				c.t.Errorf("rank %d: %v", n.rank, err)
+			}
+		case <-time.After(30 * time.Second):
+			c.t.Fatalf("rank %d did not shut down", n.rank)
+		}
+		n.tr.Close()
+		n.st.Close()
+	}
+}
+
+// expectSample replays the cluster's synthetic stream on the in-process
+// simulator for the given number of rounds and demands a byte-identical
+// sample — the same check reservoir-verify -match runs in CI.
+func expectSample(t *testing.T, cfg reservoir.Config, algo reservoir.Algorithm, p, rounds, batch int, got []service.WireItem) {
+	t.Helper()
+	cl, err := reservoir.NewCluster(p, cfg, reservoir.WithAlgorithm(algo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := service.SyntheticSpec{BatchLen: batch, Rounds: rounds}
+	src, err := spec.BuildSource(service.RunConfig{Seed: cfg.Seed, Uniform: !cfg.Weighted})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rounds; r++ {
+		cl.ProcessRound(src)
+	}
+	want := cl.Sample()
+	if len(want) != len(got) {
+		t.Fatalf("sample size: simulator %d vs cluster %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i].W != got[i].W || want[i].ID != got[i].ID {
+			t.Fatalf("sample[%d]: simulator %+v vs cluster %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestCrashRestartBetweenCommands: two kill/restart cycles against an
+// idle cluster; ingestion after each rejoin must keep the sample
+// byte-identical to an uninterrupted run.
+func TestCrashRestartBetweenCommands(t *testing.T) {
+	const p, k, batch = 4, 64, 500
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 1111}
+	c := startChaosCluster(t, p, cfg, reservoir.Distributed)
+
+	spec := func(rounds int) map[string]any {
+		return map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: rounds}}
+	}
+	var st Stats
+	if resp, data := c.post("/v1/cluster/rounds", spec(3), &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds: %s: %s", resp.Status, data)
+	}
+	if st.Rounds != 3 {
+		t.Fatalf("rounds = %d, want 3", st.Rounds)
+	}
+
+	// Cycle 1: kill node 2 while idle, restart, ingest more.
+	c.kill(2)
+	c.restart(2)
+	if resp, data := c.post("/v1/cluster/rounds", spec(3), &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds after restart 1: %s: %s", resp.Status, data)
+	}
+	if st.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", st.Rounds)
+	}
+
+	// Cycle 2: a different node.
+	c.kill(1)
+	c.restart(1)
+	if resp, data := c.post("/v1/cluster/rounds", spec(2), &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds after restart 2: %s: %s", resp.Status, data)
+	}
+	if st.Rounds != 8 {
+		t.Fatalf("rounds = %d, want 8", st.Rounds)
+	}
+
+	var sr SampleResponse
+	getJSON(t, c.ctrlAdr+"/v1/cluster/sample", &sr)
+	expectSample(t, cfg, reservoir.Distributed, p, 8, batch, sr.Items)
+	c.shutdownAll()
+}
+
+// TestCrashRestartMidCommand: kill a node while a multi-round ingest
+// command is executing. The command must survive the resync, re-execute
+// only the un-committed rounds, and the final sample must match the
+// uninterrupted simulator replay exactly.
+func TestCrashRestartMidCommand(t *testing.T) {
+	const p, k, batch, rounds = 4, 48, 300, 20
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 2222}
+	c := startChaosCluster(t, p, cfg, reservoir.Distributed)
+
+	done := make(chan Stats, 1)
+	go func() {
+		var st Stats
+		resp, data := c.post("/v1/cluster/rounds",
+			map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: rounds}}, &st)
+		if resp.StatusCode != http.StatusOK {
+			c.t.Errorf("mid-command rounds: %s: %s", resp.Status, data)
+		}
+		done <- st
+	}()
+
+	time.Sleep(60 * time.Millisecond) // land mid-command
+	c.kill(3)
+	time.Sleep(200 * time.Millisecond)
+	c.restart(3)
+
+	var st Stats
+	select {
+	case st = <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("ingest command did not complete after the crash-restart cycle")
+	}
+	if st.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d (no round may run twice or vanish)", st.Rounds, rounds)
+	}
+
+	var sr SampleResponse
+	getJSON(t, c.ctrlAdr+"/v1/cluster/sample", &sr)
+	expectSample(t, cfg, reservoir.Distributed, p, rounds, batch, sr.Items)
+	c.shutdownAll()
+}
+
+// TestCrashRestartGatherAlgorithm: the centralized baseline recovers too
+// (its per-PE snapshots carry the root's sample).
+func TestCrashRestartGatherAlgorithm(t *testing.T) {
+	const p, k, batch = 3, 32, 400
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 3333}
+	c := startChaosCluster(t, p, cfg, reservoir.CentralizedGather)
+
+	var st Stats
+	if resp, data := c.post("/v1/cluster/rounds",
+		map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: 3}}, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds: %s: %s", resp.Status, data)
+	}
+	c.kill(1)
+	c.restart(1)
+	if resp, data := c.post("/v1/cluster/rounds",
+		map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: 3}}, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds after restart: %s: %s", resp.Status, data)
+	}
+	if st.Rounds != 6 {
+		t.Fatalf("rounds = %d, want 6", st.Rounds)
+	}
+	var sr SampleResponse
+	getJSON(t, c.ctrlAdr+"/v1/cluster/sample", &sr)
+	expectSample(t, cfg, reservoir.CentralizedGather, p, 6, batch, sr.Items)
+	c.shutdownAll()
+}
+
+// TestColdClusterRestart: after a graceful shutdown, relaunching every
+// node from its store resumes the run — the whole cluster is durable,
+// not just individual nodes.
+func TestColdClusterRestart(t *testing.T) {
+	const p, k, batch = 3, 32, 400
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 4444}
+	c := startChaosCluster(t, p, cfg, reservoir.Distributed)
+
+	var st Stats
+	if resp, data := c.post("/v1/cluster/rounds",
+		map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: 4}}, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds: %s: %s", resp.Status, data)
+	}
+	dirs := make([]string, p)
+	for i, n := range c.nodes {
+		dirs[i] = n.dir
+	}
+	c.shutdownAll()
+
+	// Relaunch everything from disk (same control port).
+	ctrl, err := net.Listen("tcp", c.ctrl.Addr().String())
+	if err != nil {
+		t.Fatalf("rebinding control: %v", err)
+	}
+	c2 := &chaosCluster{
+		t: t, peers: c.peers, cfg: cfg, algo: reservoir.Distributed,
+		ctrl: ctrl, ctrlAdr: "http://" + ctrl.Addr().String(),
+		nodes: make([]*chaosNode, p),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c2.launch(rank, nil, dirs[rank])
+		}(i)
+	}
+	wg.Wait()
+	for _, n := range c2.nodes {
+		if n == nil {
+			t.Fatal("cold restart failed to relaunch every node")
+		}
+	}
+	if resp, data := c2.post("/v1/cluster/rounds",
+		map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: 4}}, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("rounds after cold restart: %s: %s", resp.Status, data)
+	}
+	if st.Rounds != 8 {
+		t.Fatalf("rounds = %d, want 8 (4 before + 4 after the cold restart)", st.Rounds)
+	}
+	var sr SampleResponse
+	getJSON(t, c2.ctrlAdr+"/v1/cluster/sample", &sr)
+	expectSample(t, cfg, reservoir.Distributed, p, 8, batch, sr.Items)
+	c2.shutdownAll()
+}

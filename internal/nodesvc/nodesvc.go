@@ -26,6 +26,7 @@ package nodesvc
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
@@ -34,14 +35,18 @@ import (
 
 	"reservoir"
 	"reservoir/internal/service"
+	"reservoir/internal/store"
 	"reservoir/internal/transport"
 )
 
-// Command opcodes broadcast from rank 0.
+// Command opcodes broadcast from rank 0. opStats is internal: it runs
+// the stats collectives alone, used when a resync rolled a command's
+// remaining work to zero but the caller still needs a fresh result.
 const (
 	opRounds   = "rounds"
 	opSample   = "sample"
 	opShutdown = "shutdown"
+	opStats    = "stats"
 )
 
 // command is the control message distributed through the cluster's own
@@ -77,6 +82,12 @@ type Options struct {
 	// Listener optionally provides a pre-bound control listener for rank
 	// 0 (tests use port-0 listeners).
 	Listener net.Listener
+	// Store enables crash-restart persistence: this node's per-round
+	// boundary checkpoints and WAL audit trail live in it (each node of
+	// the cluster needs its *own* store directory). Open it with a
+	// snapshot retention of at least 4 (store.WithSnapshotRetention) so
+	// a restarted node can roll back to the survivors' boundary.
+	Store *store.Store
 	// Logf receives lifecycle messages (default: silent).
 	Logf func(format string, args ...any)
 }
@@ -149,6 +160,17 @@ type Server struct {
 	runCfg service.RunConfig
 	logf   func(string, ...any)
 
+	// Fault tolerance and persistence (see resync.go / persist.go).
+	// ft is non-nil when the transport runs with recoverable faults;
+	// ring holds the restorable round boundaries; rejoining marks a node
+	// that recovered persisted state and must resync before serving.
+	ft        ftConn
+	st        *store.Store
+	runLog    *store.RunLog
+	ring      []boundary
+	rejoining bool
+	attempt   uint64 // rank 0's resync attempt counter
+
 	// Root-only control state. done closes when the collective loop
 	// exits, unblocking submitters that raced with shutdown.
 	cmds chan *pending
@@ -174,8 +196,32 @@ func New(opts Options) (*Server, error) {
 		node:   node,
 		runCfg: service.RunConfig{Seed: opts.Config.Seed, Uniform: !opts.Config.Weighted},
 		logf:   logf,
+		st:     opts.Store,
 		cmds:   make(chan *pending),
 		done:   make(chan struct{}),
+	}
+	if fc, ok := opts.Conn.(ftConn); ok && fc.FaultTolerant() {
+		s.ft = fc
+		transport.Register(resyncMsg{})
+	}
+	if s.st != nil {
+		if s.ft == nil {
+			// Without the resync protocol there is no round-agreement
+			// check: nodes cold-restarted from checkpoints taken one
+			// round apart would consume diverging stream slices and
+			// produce a silently wrong sample.
+			return nil, fmt.Errorf("nodesvc: a store requires a fault-tolerant transport (rejoin timeout); refusing persistence that could not be recovered consistently")
+		}
+		if err := s.initPersistence(); err != nil {
+			return nil, err
+		}
+	}
+	if !s.rejoining {
+		// Record the round-0 boundary so the very first round is
+		// rollback-able (and, with a store, restartable).
+		if err := s.captureBoundary(nil); err != nil {
+			return nil, err
+		}
 	}
 	s.lastStat = s.snapshotLocked(reservoir.NetworkStats{}, reservoir.Counters{})
 	return s, nil
@@ -186,6 +232,11 @@ func New(opts Options) (*Server, error) {
 // loop; on other ranks it executes broadcast commands. It returns nil
 // after an orderly cluster shutdown.
 func (s *Server) Run() error {
+	defer func() {
+		if s.runLog != nil {
+			s.runLog.Close()
+		}
+	}()
 	if s.node.Rank() == 0 {
 		return s.runRoot()
 	}
@@ -199,9 +250,19 @@ func (s *Server) runFollower() (err error) {
 		}
 	}()
 	s.logf("nodesvc: rank %d/%d following", s.node.Rank(), s.node.P())
+	if s.ft != nil && s.rejoining {
+		if err := s.followResync(true); err != nil {
+			return err
+		}
+	}
 	for {
-		cmd := reservoir.BroadcastValue(s.node, 0, command{}, commandWords)
-		res := s.execute(cmd)
+		cmd, res, fault := s.tryFollowOnce()
+		if fault {
+			if err := s.followResync(false); err != nil {
+				return err
+			}
+			continue
+		}
 		if res.err != nil {
 			return fmt.Errorf("nodesvc: rank %d executing %q: %w", s.node.Rank(), cmd.Op, res.err)
 		}
@@ -210,6 +271,24 @@ func (s *Server) runFollower() (err error) {
 			return nil
 		}
 	}
+}
+
+// tryFollowOnce receives and executes one broadcast command, converting
+// recoverable transport faults (a peer died, a resync began) into a
+// fault=true return instead of a panic. Non-fault panics propagate.
+func (s *Server) tryFollowOnce() (cmd command, res result, fault bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := transport.AsFault(r); ok && s.ft != nil {
+				fault = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	cmd = reservoir.BroadcastValue(s.node, 0, command{}, commandWords)
+	res = s.execute(cmd)
+	return
 }
 
 func (s *Server) runRoot() error {
@@ -249,29 +328,41 @@ func (s *Server) runRoot() error {
 	return runErr
 }
 
-// rootLoop drains the command queue through the cluster's collectives. A
-// transport failure mid-collective (a dead peer poisons the mailbox with
-// a panic) is recovered into an orderly error so rank 0 still runs its
-// HTTP shutdown and submitter-unblocking cleanup. A dead control server
-// (serveFailed) shuts the cluster down instead of leaving the followers
-// blocked on a Broadcast that can never be requested again.
+// rootLoop drains the command queue through the cluster's collectives.
+// On a strict transport, a failure mid-collective (a dead peer poisons
+// the mailbox with a panic) is recovered into an orderly error so rank 0
+// still runs its HTTP shutdown and submitter-unblocking cleanup; on a
+// fault-tolerant transport, dispatch absorbs the fault, coordinates a
+// resync, and re-executes the command from the restored boundary. Fault
+// signals arriving while no command is in flight (a follower died or
+// rejoined between requests) are handled through the transport's notify
+// channel. A dead control server (serveFailed) shuts the cluster down
+// instead of leaving the followers blocked on a Broadcast that can never
+// be requested again.
 func (s *Server) rootLoop(serveFailed <-chan error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("nodesvc: rank 0: %v", r)
 		}
 	}()
+	var notify <-chan struct{}
+	if s.ft != nil {
+		notify = s.ft.CtrlNotify()
+		if s.rejoining {
+			// This rank 0 crash-restarted: re-sync the cluster to a
+			// common boundary before accepting commands.
+			if err := s.coordinateResync(); err != nil {
+				return err
+			}
+		}
+	}
 	for {
 		select {
 		case p, ok := <-s.cmds:
 			if !ok {
 				return nil
 			}
-			// One broadcast wakes every follower; then all nodes
-			// (including this one) execute the command's collectives in
-			// lockstep.
-			reservoir.BroadcastValue(s.node, 0, p.cmd, commandWords)
-			res := s.execute(p.cmd)
+			res := s.dispatch(p.cmd)
 			p.reply <- res
 			if p.cmd.Op == opShutdown {
 				return nil
@@ -279,12 +370,82 @@ func (s *Server) rootLoop(serveFailed <-chan error) (err error) {
 			if res.err != nil {
 				return res.err
 			}
+		case <-notify:
+			if !s.ft.CtrlPending() && len(s.ft.DownPeers()) == 0 {
+				continue // stale pulse of an already-handled fault
+			}
+			if err := s.coordinateResync(); err != nil {
+				return err
+			}
 		case e := <-serveFailed:
-			reservoir.BroadcastValue(s.node, 0, command{Op: opShutdown}, commandWords)
-			s.execute(command{Op: opShutdown})
+			s.dispatch(command{Op: opShutdown})
 			return fmt.Errorf("nodesvc: control server failed: %w", e)
 		}
 	}
+}
+
+// maxCmdRetries bounds how many resync-and-retry cycles one command may
+// consume before rank 0 gives up on the cluster.
+const maxCmdRetries = 8
+
+// dispatch executes one command collectively, surviving recoverable
+// faults: each fault triggers a resync to the last common round boundary
+// and a re-execution of only the remaining work. For round ingestion the
+// target round is pinned up front, so rounds completed before the fault
+// are never run twice — re-execution of the *failed* round restores
+// exactly the uninterrupted stream (the boundary snapshot includes the
+// PRNG state).
+func (s *Server) dispatch(cmd command) result {
+	target := uint64(s.node.Round())
+	if cmd.Op == opRounds {
+		r := cmd.Spec.Rounds
+		if r == 0 {
+			r = 1
+		}
+		target += uint64(r)
+	}
+	for attempt := 0; ; attempt++ {
+		run := cmd
+		if cmd.Op == opRounds {
+			remaining := int(int64(target) - int64(s.node.Round()))
+			if remaining <= 0 {
+				// All rounds landed before the fault; the resync rolled
+				// nothing back. Refresh the stats for the reply.
+				run = command{Op: opStats}
+			} else {
+				run.Spec.Rounds = remaining
+			}
+		}
+		res, fault := s.tryCollective(run)
+		if !fault {
+			return res
+		}
+		if attempt >= maxCmdRetries {
+			return result{err: fmt.Errorf("nodesvc: command %q still faulting after %d resyncs", cmd.Op, attempt)}
+		}
+		if err := s.coordinateResync(); err != nil {
+			return result{err: err}
+		}
+	}
+}
+
+// tryCollective runs one broadcast+execute cycle, converting recoverable
+// transport faults into a fault=true return. Non-fault panics propagate.
+func (s *Server) tryCollective(cmd command) (res result, fault bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := transport.AsFault(r); ok && s.ft != nil {
+				fault = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	// One broadcast wakes every follower; then all nodes (including this
+	// one) execute the command's collectives in lockstep.
+	reservoir.BroadcastValue(s.node, 0, cmd, commandWords)
+	res = s.execute(cmd)
+	return
 }
 
 // execute runs one command's collective part on this node (all ranks call
@@ -302,9 +463,21 @@ func (s *Server) execute(cmd command) result {
 		if rounds == 0 {
 			rounds = 1
 		}
+		specJSON, err := json.Marshal(cmd.Spec)
+		if err != nil {
+			return result{err: fmt.Errorf("encoding synthetic spec: %w", err)}
+		}
 		for i := 0; i < rounds; i++ {
 			s.node.ProcessRound(src)
+			// Every completed round becomes a restorable boundary
+			// (in-memory ring and, when persistence is on, WAL record +
+			// checkpoint) — the recovery protocol's rollback grain.
+			if err := s.captureBoundary(specJSON); err != nil {
+				return result{err: err}
+			}
 		}
+		return result{stats: s.publishStats()}
+	case opStats:
 		return result{stats: s.publishStats()}
 	case opSample:
 		items := s.node.CollectSample()

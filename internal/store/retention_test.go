@@ -1,0 +1,89 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSnapshotRetentionKeepsHistory: with WithSnapshotRetention(n) the n
+// newest checkpoints stay readable (cluster-node recovery rolls back to
+// whichever retained boundary the survivors agree on), WAL segments
+// reachable from the oldest retained snapshot survive, and everything
+// older is pruned.
+func TestSnapshotRetentionKeepsHistory(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, WithFsync(FsyncOff), WithSnapshotRetention(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	l, err := st.CreateRun("n0", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint after every round, like a cluster node does.
+	for round := uint64(0); round < 6; round++ {
+		if err := l.AppendRound(mkRecord(round, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Checkpoint(&Snapshot{Round: round + 1, Kind: 9, Blob: []byte{byte(round + 1)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	rounds, err := st.Snapshots("n0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 3 || rounds[0] != 4 || rounds[1] != 5 || rounds[2] != 6 {
+		t.Fatalf("retained snapshots = %v, want [4 5 6]", rounds)
+	}
+	for _, r := range rounds {
+		snap, err := st.ReadSnapshot("n0", r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Round != r || len(snap.Blob) != 1 || snap.Blob[0] != byte(r) {
+			t.Fatalf("snapshot @%d = %+v", r, snap)
+		}
+	}
+	if _, err := st.ReadSnapshot("n0", 3); err == nil {
+		t.Fatal("pruned snapshot still readable")
+	}
+	// WAL segments older than the oldest retained snapshot are pruned.
+	entries, _ := os.ReadDir(filepath.Join(dir, "runs", "n0"))
+	for _, e := range entries {
+		if r, ok := parseSeq(e.Name(), "wal-", ".log"); ok && r < 4 {
+			t.Fatalf("stale segment %s survived retention pruning", e.Name())
+		}
+	}
+
+	// Default retention (1) still prunes aggressively.
+	st2, err := Open(t.TempDir(), WithFsync(FsyncOff))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	l2, err := st2.CreateRun("r", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := uint64(0); round < 3; round++ {
+		if err := l2.AppendRound(mkRecord(round, 1, 2)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Checkpoint(&Snapshot{Round: round + 1, Kind: 9, Blob: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l2.Close()
+	rounds, err = st2.Snapshots("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 1 || rounds[0] != 3 {
+		t.Fatalf("default retention kept %v, want [3]", rounds)
+	}
+}

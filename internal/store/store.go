@@ -79,6 +79,7 @@ type Store struct {
 	dir      string
 	policy   FsyncPolicy
 	interval time.Duration
+	retain   int // snapshots kept per run (>= 1)
 
 	mu   sync.Mutex // guards manifest writes and the log registry
 	man  manifest
@@ -113,11 +114,24 @@ func WithFsyncInterval(d time.Duration) Option {
 	}
 }
 
+// WithSnapshotRetention keeps the n newest checkpoints of each run
+// instead of only the latest (default 1). Cluster-node recovery uses a
+// small history so a restarted node can roll back to whichever round
+// boundary the survivors agree on, not just its own newest.
+func WithSnapshotRetention(n int) Option {
+	return func(s *Store) {
+		if n > 0 {
+			s.retain = n
+		}
+	}
+}
+
 // Open creates or reopens a store rooted at dir.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
 		dir:      dir,
 		interval: 100 * time.Millisecond,
+		retain:   1,
 		logs:     make(map[string]*RunLog),
 		stopSync: make(chan struct{}),
 		syncDone: make(chan struct{}),
@@ -334,6 +348,36 @@ func (s *Store) ReplayRecords(id string, from uint64, fn func(*RoundRecord) erro
 		}
 	}
 	return replayed, warn, nil
+}
+
+// Snapshots lists the rounds of every decodable-looking snapshot file of
+// a run, ascending (decode is only attempted by ReadSnapshot).
+func (s *Store) Snapshots(id string) ([]uint64, error) {
+	entries, err := os.ReadDir(s.runDir(id))
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", id, err)
+	}
+	var rounds []uint64
+	for _, e := range entries {
+		if r, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	return rounds, nil
+}
+
+// ReadSnapshot loads and verifies the snapshot taken at the given round.
+func (s *Store) ReadSnapshot(id string, round uint64) (*Snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(s.runDir(id), snapName(round)))
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s: %w", id, err)
+	}
+	snap, err := DecodeSnapshot(b)
+	if err != nil {
+		return nil, fmt.Errorf("store: run %s round %d: %w", id, round, err)
+	}
+	return snap, nil
 }
 
 // ListRuns returns the IDs of all persisted runs, sorted.

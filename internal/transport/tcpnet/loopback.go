@@ -13,6 +13,13 @@ import (
 // returned transport poisons its node only; callers should Close all of
 // them.
 func Loopback(p int) ([]*Transport, error) {
+	return LoopbackFT(p, 0)
+}
+
+// LoopbackFT is Loopback with fault tolerance enabled: each transport
+// runs with the given rejoin window (see Config.RejoinTimeout). Zero
+// yields the strict reliable-PE semantics of Loopback.
+func LoopbackFT(p int, rejoin time.Duration) ([]*Transport, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("tcpnet: loopback cluster needs p >= 1")
 	}
@@ -39,6 +46,7 @@ func Loopback(p int) ([]*Transport, error) {
 				Peers:            peers,
 				Listener:         listeners[rank],
 				FormationTimeout: 30 * time.Second,
+				RejoinTimeout:    rejoin,
 			})
 			done <- rank
 		}(i)

@@ -15,8 +15,8 @@
 // there is no simultaneous-open tiebreak — and the only startup hazard
 // left is dialing a peer whose listener is not up yet, which Dial absorbs
 // by retrying with backoff until the formation deadline. A peer that
-// re-dials (e.g. after a partial startup failure) simply replaces its
-// previous inbound connection.
+// re-dials (e.g. after a partial startup failure or a crash-restart)
+// simply replaces its previous inbound connection.
 //
 // # Wire format
 //
@@ -25,7 +25,7 @@
 // reject the connection. After the handshake the stream is a sequence of
 // length-prefixed message frames:
 //
-//	u32 payload length | u32 tag | u32 cost-model words | u32 CRC-32 (IEEE) of payload | payload
+//	u32 payload length | u32 tag | u32 cost-model words | u32 epoch | u32 CRC-32 (IEEE) of payload | payload
 //
 // Messages above the 64 MiB per-frame cap are written as a contiguous run
 // of fragments (high bit set on the length word, CRC per fragment) and
@@ -55,17 +55,45 @@
 // up. Stats counts this node's outgoing traffic: messages, declared
 // cost-model words (comparable with simulated runs), and actual encoded
 // bytes on the wire.
+//
+// # Fault tolerance (Config.RejoinTimeout > 0)
+//
+// By default a lost or corrupt connection permanently poisons receives
+// from that peer — correct for the paper's reliable-PE model, fatal for
+// long-lived deployments. With a RejoinTimeout the transport instead
+// treats peer loss as a *recoverable fault* to be handled by the layer
+// above (internal/nodesvc's resync protocol):
+//
+//   - Frames carry an epoch number. A resync advances the epoch
+//     (AdvanceEpoch) and stale data frames from before the failure are
+//     silently discarded, so a retried round never consumes messages of
+//     its failed first attempt.
+//   - Peer loss marks the peer down and interrupts blocked receives with
+//     a typed *FaultError panic (satisfying transport.Fault) instead of
+//     poisoning the mailbox; after the recovery protocol completes,
+//     ClearFault re-arms the transport.
+//   - Losing a link starts a background redial loop (bounded by
+//     RejoinTimeout), so a crashed-and-restarted peer finds the
+//     survivors dialing back in — which is exactly what its own Dial
+//     needs to complete cluster formation again.
+//   - A reserved tag carries control-plane messages (SendCtrl/RecvCtrl)
+//     that bypass epoch filtering and (peer, tag) matching: the recovery
+//     protocol runs over them while the data plane is suspended, and
+//     their arrival wakes blocked receivers and CtrlNotify listeners.
 package tcpnet
 
 import (
 	"bufio"
 	"bytes"
+	"crypto/rand"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,9 +103,9 @@ import (
 
 const (
 	handshakeMagic  = 0x52535654 // "RSVT"
-	protocolVersion = 1
-	handshakeLen    = 13
-	frameHeaderLen  = 16
+	protocolVersion = 2          // v2: epoch frame word, two-way handshake with incarnation
+	handshakeLen    = 21
+	frameHeaderLen  = 20
 	// maxFramePayload bounds one frame; larger messages are fragmented
 	// across frames (fragFlag) and reassembled by the receiver, so the
 	// cap is a streaming granularity, not a message size limit.
@@ -89,7 +117,30 @@ const (
 	// far above anything the samplers send.
 	maxMessageBytes  = 1 << 30
 	defaultFormation = 60 * time.Second
+
+	// CtrlTag is the reserved tag of control-plane frames (recovery
+	// handshakes). It is far outside the collective layer's sequential
+	// tag space; control frames bypass epoch filtering and are received
+	// through RecvCtrl rather than Recv.
+	CtrlTag = 0x7fffffff
 )
+
+// FaultError is the recoverable-failure signal of a fault-tolerant
+// transport: a peer connection was lost, or a control-plane message
+// interrupted a blocked receive so the node can join a recovery round.
+// Recv and Send panic with a *FaultError (satisfying transport.Fault);
+// the serving layer recovers it and runs the resync protocol.
+type FaultError struct {
+	Rank int // the local rank observing the fault
+	Peer int // the lost peer, or -1 for a control-message interrupt
+	Msg  string
+}
+
+// Error implements error.
+func (e *FaultError) Error() string { return e.Msg }
+
+// TransportFault marks the error as recoverable (transport.Fault).
+func (e *FaultError) TransportFault() {}
 
 // Config describes one node's place in the cluster.
 type Config struct {
@@ -107,6 +158,12 @@ type Config struct {
 	// FormationTimeout bounds cluster formation — dialing all peers and
 	// receiving all inbound connections (default 60s).
 	FormationTimeout time.Duration
+	// RejoinTimeout enables fault tolerance: peer loss interrupts
+	// receives with a recoverable *FaultError instead of poisoning the
+	// mailbox, and a background redial loop tries to re-reach the peer
+	// for this long (a crashed peer must restart within the window).
+	// Zero keeps the strict reliable-PE semantics.
+	RejoinTimeout time.Duration
 	// Logf receives connection lifecycle messages (default: silent).
 	Logf func(format string, args ...any)
 }
@@ -115,16 +172,25 @@ type Config struct {
 // transport.Conn; see the package comment for semantics.
 type Transport struct {
 	rank, p int
+	peers   []string
 	start   time.Time
 	ln      net.Listener
 	logf    func(string, ...any)
+	rejoin  time.Duration // > 0: fault-tolerant mode
+	// incarnation identifies this transport instance in handshakes, so
+	// peers can tell a crash-restarted node from a formation-race
+	// re-dial (and avoid mutual redial storms).
+	incarnation uint64
 
 	box *mailbox
 
-	mu    sync.Mutex
-	out   []*link // rank-indexed outbound links; nil at own rank
-	in    []net.Conn
-	curIn []net.Conn // rank-indexed current inbound conn (stale readers stay benign)
+	mu        sync.Mutex
+	out       []*link // rank-indexed outbound links; nil at own rank
+	in        []net.Conn
+	curIn     []net.Conn // rank-indexed current inbound conn (stale readers stay benign)
+	redialing []bool     // rank-indexed: a redial loop is active
+	inIncar   []uint64   // rank-indexed: incarnation behind curIn
+	outIncar  []uint64   // rank-indexed: incarnation our out link reaches
 
 	messages atomic.Int64
 	words    atomic.Int64
@@ -158,15 +224,23 @@ func Dial(cfg Config) (*Transport, error) {
 		logf = func(string, ...any) {}
 	}
 	t := &Transport{
-		rank:   cfg.Rank,
-		p:      p,
-		start:  time.Now(),
-		logf:   logf,
-		box:    newMailbox(),
-		out:    make([]*link, p),
-		curIn:  make([]net.Conn, p),
-		closed: make(chan struct{}),
+		rank:        cfg.Rank,
+		p:           p,
+		peers:       append([]string(nil), cfg.Peers...),
+		start:       time.Now(),
+		logf:        logf,
+		rejoin:      cfg.RejoinTimeout,
+		incarnation: newIncarnation(),
+		box:         newMailbox(),
+		out:         make([]*link, p),
+		curIn:       make([]net.Conn, p),
+		redialing:   make([]bool, p),
+		inIncar:     make([]uint64, p),
+		outIncar:    make([]uint64, p),
+		closed:      make(chan struct{}),
 	}
+	t.box.rank = cfg.Rank
+	t.box.ft = cfg.RejoinTimeout > 0
 	if p == 1 {
 		t.ln = cfg.Listener // no mesh needed; adopt the listener for Addr/Close
 		return t, nil
@@ -248,27 +322,10 @@ func Dial(cfg Config) (*Transport, error) {
 func (t *Transport) dialPeer(peer int, addr string, deadline time.Time) error {
 	backoff := 50 * time.Millisecond
 	for {
-		conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+		conn, incar, err := t.dialOnce(peer, addr)
 		if err == nil {
-			if tc, ok := conn.(*net.TCPConn); ok {
-				tc.SetNoDelay(true) // collectives are latency-bound
-			}
-			var hs [handshakeLen]byte
-			binary.LittleEndian.PutUint32(hs[0:4], handshakeMagic)
-			hs[4] = protocolVersion
-			binary.LittleEndian.PutUint32(hs[5:9], uint32(t.rank))
-			binary.LittleEndian.PutUint32(hs[9:13], uint32(t.p))
-			if _, err = conn.Write(hs[:]); err != nil {
-				// The peer's proxy/sidecar accepted the connect but reset
-				// before it was ready: same startup race as a refused
-				// dial, so fall through to the retry loop.
-				conn.Close()
-			} else {
-				t.mu.Lock()
-				t.out[peer] = &link{conn: conn, w: bufio.NewWriter(conn)}
-				t.mu.Unlock()
-				return nil
-			}
+			t.installLink(peer, conn, incar)
+			return nil
 		}
 		// The usual dial race at startup: the peer process exists but its
 		// listener is not up yet (connection refused / reset / unreachable
@@ -286,6 +343,193 @@ func (t *Transport) dialPeer(peer int, addr string, deadline time.Time) error {
 		if backoff < time.Second {
 			backoff *= 2
 		}
+	}
+}
+
+// newIncarnation draws a random transport-instance ID. Collisions across
+// restarts of the same rank are what matters; 64 random bits make them
+// negligible.
+func newIncarnation() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) | 1
+	}
+	return binary.LittleEndian.Uint64(b[:]) | 1
+}
+
+// putHandshake fills one handshake frame: magic, version, rank, cluster
+// size, incarnation.
+func (t *Transport) putHandshake(hs *[handshakeLen]byte) {
+	binary.LittleEndian.PutUint32(hs[0:4], handshakeMagic)
+	hs[4] = protocolVersion
+	binary.LittleEndian.PutUint32(hs[5:9], uint32(t.rank))
+	binary.LittleEndian.PutUint32(hs[9:13], uint32(t.p))
+	binary.LittleEndian.PutUint64(hs[13:21], t.incarnation)
+}
+
+// dialOnce makes one connection attempt: dial, send our handshake, and
+// read the acceptor's reply (validating that the address really hosts the
+// expected rank of this cluster). Returns the acceptor's incarnation.
+func (t *Transport) dialOnce(peer int, addr string) (net.Conn, uint64, error) {
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, 0, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) // collectives are latency-bound
+	}
+	fail := func(err error) (net.Conn, uint64, error) {
+		conn.Close()
+		return nil, 0, err
+	}
+	var hs [handshakeLen]byte
+	t.putHandshake(&hs)
+	if _, err := conn.Write(hs[:]); err != nil {
+		// The peer's proxy/sidecar accepted the connect but reset before
+		// it was ready: same startup race as a refused dial.
+		return fail(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if _, err := io.ReadFull(conn, hs[:]); err != nil {
+		return fail(fmt.Errorf("handshake reply: %w", err))
+	}
+	conn.SetReadDeadline(time.Time{})
+	if m := binary.LittleEndian.Uint32(hs[0:4]); m != handshakeMagic {
+		return fail(fmt.Errorf("handshake reply with bad magic %#x", m))
+	}
+	if v := hs[4]; v != protocolVersion {
+		return fail(fmt.Errorf("handshake reply protocol version %d (want %d)", v, protocolVersion))
+	}
+	if r := int(binary.LittleEndian.Uint32(hs[5:9])); r != peer {
+		return fail(fmt.Errorf("address %s hosts rank %d, expected %d", addr, r, peer))
+	}
+	if pp := int(binary.LittleEndian.Uint32(hs[9:13])); pp != t.p {
+		return fail(fmt.Errorf("address %s belongs to a %d-node cluster, expected %d", addr, pp, t.p))
+	}
+	return conn, binary.LittleEndian.Uint64(hs[13:21]), nil
+}
+
+// installLink makes conn the current outbound link to peer (reaching the
+// given peer incarnation), closing any previous one.
+func (t *Transport) installLink(peer int, conn net.Conn, incar uint64) {
+	t.mu.Lock()
+	old := t.out[peer]
+	t.out[peer] = &link{conn: conn, w: bufio.NewWriter(conn)}
+	t.outIncar[peer] = incar
+	t.mu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+}
+
+// redialPeer starts (at most one) background redial loop for the directed
+// link to peer, bounded by the rejoin window. Fault-tolerant mode only.
+// Besides restoring this node's outbound link, the redial is what lets a
+// crashed-and-restarted peer complete its own cluster formation: its Dial
+// waits for an inbound connection from every survivor.
+func (t *Transport) redialPeer(peer int) {
+	if t.rejoin <= 0 || peer == t.rank {
+		return
+	}
+	t.mu.Lock()
+	if t.redialing[peer] {
+		t.mu.Unlock()
+		return
+	}
+	t.redialing[peer] = true
+	t.mu.Unlock()
+	go func() {
+		defer func() {
+			t.mu.Lock()
+			t.redialing[peer] = false
+			t.mu.Unlock()
+		}()
+		deadline := time.Now().Add(t.rejoin)
+		backoff := 50 * time.Millisecond
+		for {
+			select {
+			case <-t.closed:
+				return
+			default:
+			}
+			if conn, incar, err := t.dialOnce(peer, t.peers[peer]); err == nil {
+				t.installLink(peer, conn, incar)
+				t.logf("tcpnet: rank %d: re-dialed peer %d", t.rank, peer)
+				return
+			}
+			if time.Now().Add(backoff).After(deadline) {
+				t.logf("tcpnet: rank %d: giving up re-dialing peer %d after %s", t.rank, peer, t.rejoin)
+				return
+			}
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+	}()
+}
+
+// Refresh synchronously ensures the outbound link to peer reaches the
+// peer's *current* incarnation (as learned from its latest inbound
+// handshake), dialing if necessary. The recovery protocol calls it for
+// every peer that was marked down before re-arming the data plane: a
+// data send racing the background redial could otherwise be buffered
+// into the dead incarnation's connection and silently lost — TCP reports
+// nothing until long after the write. Fault-tolerant mode only.
+func (t *Transport) Refresh(peer int, deadline time.Time) error {
+	if peer == t.rank || t.p == 1 {
+		return nil
+	}
+	for {
+		t.mu.Lock()
+		fresh := t.out[peer] != nil && t.inIncar[peer] != 0 && t.outIncar[peer] == t.inIncar[peer]
+		busy := t.redialing[peer]
+		if !fresh && !busy {
+			t.redialing[peer] = true // claim the per-peer dial slot
+		}
+		t.mu.Unlock()
+		if fresh {
+			return nil
+		}
+		select {
+		case <-t.closed:
+			return fmt.Errorf("tcpnet: rank %d: transport closed", t.rank)
+		default:
+		}
+		if busy {
+			// A background redial owns the slot; wait for its result.
+			if time.Now().After(deadline) {
+				return fmt.Errorf("tcpnet: rank %d: link to peer %d not refreshed in time", t.rank, peer)
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		err := func() error {
+			defer func() {
+				t.mu.Lock()
+				t.redialing[peer] = false
+				t.mu.Unlock()
+			}()
+			conn, incar, err := t.dialOnce(peer, t.peers[peer])
+			if err != nil {
+				return err
+			}
+			t.installLink(peer, conn, incar)
+			return nil
+		}()
+		if err == nil {
+			// The handshake round-trip (with rank validation) proves a
+			// live process at the peer's address accepted this link:
+			// it now reaches the current incarnation even if that
+			// incarnation's own dial-in has not been accepted yet (so
+			// inIncar may lag — do not loop on it, or this would spin
+			// re-dialing a peer still mid-formation).
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcpnet: rank %d: refreshing link to peer %d: %w", t.rank, peer, err)
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }
 
@@ -330,6 +574,16 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 				conn.Close()
 				return
 			}
+			incar := binary.LittleEndian.Uint64(hs[13:21])
+			// Reply with our own handshake so the dialer can validate it
+			// reached the right rank (and learn our incarnation).
+			var reply [handshakeLen]byte
+			t.putHandshake(&reply)
+			if _, err := conn.Write(reply[:]); err != nil {
+				t.logf("tcpnet: rank %d: inbound handshake reply: %v", t.rank, err)
+				conn.Close()
+				return
+			}
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
 			}
@@ -337,9 +591,22 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 			t.in = append(t.in, conn)
 			prev := t.curIn[from]
 			t.curIn[from] = conn
+			// A connection from an incarnation our outbound link has not
+			// reached means the peer crash-restarted: our link points at
+			// the dead incarnation, and the peer's own formation is
+			// waiting for us to dial in — possibly before the old
+			// connection's EOF gets processed, so waiting for that would
+			// deadlock formation. Re-dial proactively. The incarnation
+			// check is what prevents two live nodes from chasing each
+			// other's replacement connections in an endless redial storm.
+			needRedial := t.rejoin > 0 && prev != nil && t.inIncar[from] != incar && t.outIncar[from] != incar
+			t.inIncar[from] = incar
 			t.mu.Unlock()
 			if prev != nil {
 				prev.Close() // superseded by the peer's re-dial
+			}
+			if needRedial {
+				t.redialPeer(from)
 			}
 			select {
 			case inbound <- from:
@@ -352,12 +619,13 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 
 // readLoop reads message frames from one inbound connection into the
 // mailbox until the connection closes. Framing or checksum violations —
-// and the peer going away, whether by RST or clean FIN — poison receives
-// from that peer: a blocked or future Recv(peer, ...) panics rather than
-// the sampler consuming a corrupt payload or blocking forever on a dead
-// cluster, while receives from still-live peers (e.g. during an orderly
-// staggered shutdown) stay valid. Only a locally-closed transport or a
-// superseded (re-dialed) connection ends the loop benignly.
+// and the peer going away, whether by RST or clean FIN — fail receives
+// from that peer: permanently (mailbox poisoning) in strict mode, or as a
+// recoverable fault (peer marked down, redial started, blocked receives
+// interrupted) in fault-tolerant mode. Receives from still-live peers
+// (e.g. during an orderly staggered shutdown) stay valid either way. Only
+// a locally-closed transport or a superseded (re-dialed) connection ends
+// the loop benignly.
 func (t *Transport) readLoop(from int, conn net.Conn) {
 	r := bufio.NewReader(conn)
 	var head [frameHeaderLen]byte
@@ -373,7 +641,8 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 		tag := int(binary.LittleEndian.Uint32(head[4:8]))
 		// head[8:12] is the sender's cost-model word count; traffic is
 		// accounted sender-side, so the receiver does not store it.
-		sum := binary.LittleEndian.Uint32(head[12:16])
+		epoch := binary.LittleEndian.Uint32(head[12:16])
+		sum := binary.LittleEndian.Uint32(head[16:20])
 		if n > maxFramePayload {
 			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d framed %d-byte payload (max %d)", t.rank, from, n, maxFramePayload))
 			return
@@ -398,13 +667,20 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			}
 			payload, partial = partial, nil
 		}
-		t.box.put(inMsg{from: from, tag: tag, payload: payload})
+		if tag == CtrlTag {
+			t.box.putCtrl(ctrlMsg{from: from, payload: payload})
+			continue
+		}
+		t.box.put(inMsg{from: from, tag: tag, epoch: epoch, payload: payload})
 	}
 }
 
-// failFrom poisons receives from one peer unless this connection was
-// superseded by the peer's re-dial (a stale reader must stay benign — the
-// replacement link is healthy) or the transport is locally closed.
+// failFrom reacts to one inbound connection failing, unless this
+// connection was superseded by the peer's re-dial (a stale reader must
+// stay benign — the replacement link is healthy) or the transport is
+// locally closed. In strict mode receives from the peer are poisoned; in
+// fault-tolerant mode the peer is marked down (interrupting blocked
+// receives recoverably) and a redial loop starts.
 func (t *Transport) failFrom(from int, conn net.Conn, err error) {
 	t.mu.Lock()
 	stale := t.curIn[from] != conn
@@ -414,9 +690,16 @@ func (t *Transport) failFrom(from int, conn net.Conn, err error) {
 		return
 	default:
 	}
-	if !stale {
-		t.box.failPeer(from, err)
+	if stale {
+		return
 	}
+	if t.rejoin > 0 {
+		t.logf("tcpnet: rank %d: peer %d faulted: %v", t.rank, from, err)
+		t.box.markDown(from, err)
+		t.redialPeer(from)
+		return
+	}
+	t.box.failPeer(from, err)
 }
 
 // --- transport.Conn --------------------------------------------------------
@@ -428,7 +711,10 @@ func (t *Transport) ID() int { return t.rank }
 func (t *Transport) P() int { return t.p }
 
 // Send implements transport.Conn: gob-encode the payload and write one
-// framed message on the directed link to `to`.
+// framed message on the directed link to `to`. In fault-tolerant mode a
+// write failure panics with a recoverable *FaultError (and starts a
+// redial); in strict mode any failure is a fatal programming/deployment
+// error.
 func (t *Transport) Send(to, tag int, payload any, words int) {
 	if words < 1 {
 		words = 1
@@ -436,30 +722,13 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 	if to == t.rank {
 		panic("tcpnet: send to self")
 	}
-	t.mu.Lock()
-	l := t.out[to]
-	t.mu.Unlock()
-	if l == nil {
-		panic(fmt.Sprintf("tcpnet: rank %d has no link to peer %d", t.rank, to))
-	}
-	var buf bytes.Buffer
-	buf.Write(make([]byte, frameHeaderLen)) // header placeholder
-	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
-		panic(fmt.Sprintf("tcpnet: rank %d encoding message for peer %d tag %d: %v", t.rank, to, tag, err))
-	}
-	frame := buf.Bytes()
-	body := frame[frameHeaderLen:]
-	if len(body) > maxMessageBytes {
-		panic(fmt.Sprintf("tcpnet: rank %d: message for peer %d tag %d encodes to %d bytes, above the %d-byte message cap", t.rank, to, tag, len(body), maxMessageBytes))
-	}
-
-	l.mu.Lock()
-	err := writeFrames(l.w, tag, words, body)
-	if err == nil {
-		err = l.w.Flush()
-	}
-	l.mu.Unlock()
-	if err != nil {
+	body := t.encode(to, tag, payload)
+	if err := t.writeMessage(to, tag, words, body); err != nil {
+		if t.rejoin > 0 {
+			t.box.markDown(to, err)
+			t.redialPeer(to)
+			panic(&FaultError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
+		}
 		panic(fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err))
 	}
 	t.messages.Add(1)
@@ -467,12 +736,42 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 	t.bytes.Add(int64(len(body)))
 }
 
+// encode gob-encodes one payload as an interface value.
+func (t *Transport) encode(to, tag int, payload any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
+		panic(fmt.Sprintf("tcpnet: rank %d encoding message for peer %d tag %d: %v", t.rank, to, tag, err))
+	}
+	body := buf.Bytes()
+	if len(body) > maxMessageBytes {
+		panic(fmt.Sprintf("tcpnet: rank %d: message for peer %d tag %d encodes to %d bytes, above the %d-byte message cap", t.rank, to, tag, len(body), maxMessageBytes))
+	}
+	return body
+}
+
+// writeMessage frames and writes one message on the current link to `to`.
+func (t *Transport) writeMessage(to, tag, words int, body []byte) error {
+	t.mu.Lock()
+	l := t.out[to]
+	t.mu.Unlock()
+	if l == nil {
+		return fmt.Errorf("no link")
+	}
+	epoch := t.box.currentEpoch()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := writeFrames(l.w, tag, words, epoch, body); err != nil {
+		return err
+	}
+	return l.w.Flush()
+}
+
 // writeFrames writes one message as one frame, or — above the per-frame
 // cap — as a run of flagged fragments followed by a final unflagged frame.
 // Fragments of one message are contiguous on the connection (the caller
 // holds the link lock for the whole message), so the receiver reassembles
 // by simple accumulation.
-func writeFrames(w io.Writer, tag, words int, body []byte) error {
+func writeFrames(w io.Writer, tag, words int, epoch uint32, body []byte) error {
 	var head [frameHeaderLen]byte
 	for {
 		chunk := body
@@ -485,7 +784,8 @@ func writeFrames(w io.Writer, tag, words int, body []byte) error {
 		binary.LittleEndian.PutUint32(head[0:4], uint32(len(chunk))|flag)
 		binary.LittleEndian.PutUint32(head[4:8], uint32(tag))
 		binary.LittleEndian.PutUint32(head[8:12], uint32(words))
-		binary.LittleEndian.PutUint32(head[12:16], crc32.ChecksumIEEE(chunk))
+		binary.LittleEndian.PutUint32(head[12:16], epoch)
+		binary.LittleEndian.PutUint32(head[16:20], crc32.ChecksumIEEE(chunk))
 		if _, err := w.Write(head[:]); err != nil {
 			return err
 		}
@@ -499,12 +799,17 @@ func writeFrames(w io.Writer, tag, words int, body []byte) error {
 }
 
 // Recv implements transport.Conn: block for the (from, tag) message and
-// decode its payload. Transport failures (closed mesh, CRC mismatch,
-// undecodable payload) panic, mirroring the simulator's treatment of
-// protocol violations as programming errors.
+// decode its payload. Hard transport failures (closed mesh, CRC mismatch
+// in strict mode, undecodable payload) panic fatally, mirroring the
+// simulator's treatment of protocol violations as programming errors; in
+// fault-tolerant mode recoverable faults panic with a *FaultError.
 func (t *Transport) Recv(from, tag int) any {
 	m, err := t.box.get(from, tag)
 	if err != nil {
+		var fe *FaultError
+		if errors.As(err, &fe) {
+			panic(fe)
+		}
 		panic(err.Error())
 	}
 	var v any
@@ -534,6 +839,86 @@ func (t *Transport) Stats() transport.Stats {
 // Pending returns the number of received-but-unclaimed messages (tests use
 // it to detect leaks after a completed SPMD section).
 func (t *Transport) Pending() int { return t.box.pending() }
+
+// --- fault-tolerant control plane ------------------------------------------
+
+// FaultTolerant reports whether the transport runs with recoverable
+// fault semantics (Config.RejoinTimeout > 0).
+func (t *Transport) FaultTolerant() bool { return t.rejoin > 0 }
+
+// RejoinWindow returns the configured rejoin timeout.
+func (t *Transport) RejoinWindow() time.Duration { return t.rejoin }
+
+// Epoch returns the current epoch (advanced by each completed resync).
+func (t *Transport) Epoch() uint64 { return uint64(t.box.currentEpoch()) }
+
+// AdvanceEpoch moves the transport to epoch e and discards queued data
+// messages of older epochs — the stale traffic of a failed round. Sends
+// stamp the new epoch immediately.
+func (t *Transport) AdvanceEpoch(e uint64) { t.box.advanceEpoch(uint32(e)) }
+
+// ClearFault re-arms the transport after the recovery protocol completed:
+// peers marked down stop interrupting receives. Control messages that
+// arrived in the meantime still interrupt the next receive (they signal
+// the next fault).
+func (t *Transport) ClearFault() { t.box.clearDown() }
+
+// DownPeers returns the ranks currently marked down, sorted.
+func (t *Transport) DownPeers() []int { return t.box.downPeers() }
+
+// CtrlNotify returns a channel that receives a pulse whenever a
+// control-plane message arrives or a peer is marked down, so a node idle
+// outside Recv (e.g. rank 0 waiting for client commands) can react to
+// faults promptly.
+func (t *Transport) CtrlNotify() <-chan struct{} { return t.box.notify }
+
+// CtrlPending reports whether an unconsumed control-plane message is
+// queued (a fault signal awaiting handling).
+func (t *Transport) CtrlPending() bool { return t.box.ctrlPending() }
+
+// SendCtrl transmits a control-plane message to a peer, retrying (and
+// re-dialing) until it is written or the deadline passes. Control frames
+// use the reserved CtrlTag and bypass epoch filtering; the recovery
+// protocol is built on them.
+func (t *Transport) SendCtrl(to int, payload any, deadline time.Time) error {
+	if to == t.rank {
+		return fmt.Errorf("tcpnet: ctrl send to self")
+	}
+	body := t.encode(to, CtrlTag, payload)
+	for {
+		select {
+		case <-t.closed:
+			return fmt.Errorf("tcpnet: rank %d: transport closed", t.rank)
+		default:
+		}
+		err := t.writeMessage(to, CtrlTag, 1, body)
+		if err == nil {
+			t.messages.Add(1)
+			t.words.Add(1)
+			t.bytes.Add(int64(len(body)))
+			return nil
+		}
+		t.redialPeer(to)
+		if time.Now().After(deadline) {
+			return fmt.Errorf("tcpnet: rank %d: ctrl send to peer %d: %w", t.rank, to, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// RecvCtrl blocks for the next control-plane message from any peer until
+// the deadline. It consumes the message; stale data traffic is unaffected.
+func (t *Transport) RecvCtrl(deadline time.Time) (from int, payload any, err error) {
+	m, err := t.box.getCtrl(deadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	var v any
+	if err := gob.NewDecoder(bytes.NewReader(m.payload)).Decode(&v); err != nil {
+		return 0, nil, fmt.Errorf("tcpnet: rank %d decoding ctrl message from peer %d: %w", t.rank, m.from, err)
+	}
+	return m.from, v, nil
+}
 
 // Close tears the mesh down. Blocked Recvs panic with a closed-transport
 // error; the caller is expected to be done with collective work.
@@ -571,7 +956,13 @@ func (t *Transport) Addr() net.Addr {
 
 type inMsg struct {
 	from, tag int
+	epoch     uint32
 	payload   []byte
+}
+
+type ctrlMsg struct {
+	from    int
+	payload []byte
 }
 
 // mailbox is the (sender, tag)-matching receive queue, the wire analogue
@@ -580,22 +971,44 @@ type inMsg struct {
 // messages stay claimable), so during an orderly cluster shutdown a node
 // that exits first does not break a survivor's receive from a still-live
 // peer. A whole-mailbox failure (local transport close) fails everything.
+//
+// In fault-tolerant mode, peer failures are *recoverable*: a peer marked
+// down — or a pending control-plane message — interrupts blocked data
+// receives with a *FaultError once no matching message is queued, and
+// data messages are additionally matched by epoch (stale epochs are
+// discarded on arrival and on epoch advance).
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []inMsg
 	err     error
 	peerErr map[int]error
+
+	// Fault-tolerant state.
+	ft     bool
+	rank   int
+	epoch  uint32
+	ctrl   []ctrlMsg
+	down   map[int]error
+	notify chan struct{}
 }
 
 func newMailbox() *mailbox {
-	b := &mailbox{peerErr: make(map[int]error)}
+	b := &mailbox{
+		peerErr: make(map[int]error),
+		down:    make(map[int]error),
+		notify:  make(chan struct{}, 1),
+	}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
 func (b *mailbox) put(m inMsg) {
 	b.mu.Lock()
+	if b.ft && m.epoch < b.epoch {
+		b.mu.Unlock() // stale traffic of a failed, already-resynced round
+		return
+	}
 	b.queue = append(b.queue, m)
 	b.mu.Unlock()
 	b.cond.Broadcast()
@@ -606,7 +1019,7 @@ func (b *mailbox) get(from, tag int) (inMsg, error) {
 	defer b.mu.Unlock()
 	for {
 		for i, m := range b.queue {
-			if m.from == from && m.tag == tag {
+			if m.from == from && m.tag == tag && (!b.ft || m.epoch == b.epoch) {
 				b.queue = append(b.queue[:i], b.queue[i+1:]...)
 				return m, nil
 			}
@@ -614,7 +1027,23 @@ func (b *mailbox) get(from, tag int) (inMsg, error) {
 		if b.err != nil {
 			return inMsg{}, b.err
 		}
-		if err := b.peerErr[from]; err != nil {
+		if b.ft {
+			// A pending control message interrupts any blocked receive
+			// (the coordinator is starting a resync; the data will never
+			// come). A down peer interrupts only receives waiting on
+			// *that* peer: a receive from a still-live peer stays valid —
+			// its sender either delivers (e.g. the shutdown relay during
+			// a staggered exit) or aborts and notifies the coordinator,
+			// whose PREPARE then interrupts us through the control path.
+			if len(b.ctrl) > 0 {
+				return inMsg{}, &FaultError{Rank: b.rank, Peer: -1,
+					Msg: fmt.Sprintf("tcpnet: rank %d: receive interrupted by a control message", b.rank)}
+			}
+			if perr := b.down[from]; perr != nil {
+				return inMsg{}, &FaultError{Rank: b.rank, Peer: from,
+					Msg: fmt.Sprintf("tcpnet: rank %d: receive interrupted, peer %d down: %v", b.rank, from, perr)}
+			}
+		} else if err := b.peerErr[from]; err != nil {
 			return inMsg{}, err
 		}
 		b.cond.Wait()
@@ -630,10 +1059,12 @@ func (b *mailbox) fail(err error) {
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	b.pulse()
 }
 
 // failPeer poisons receives from one sender: blocked and future receives
-// from that peer return err once no matching message is queued.
+// from that peer return err once no matching message is queued. Strict
+// (non-fault-tolerant) mode only.
 func (b *mailbox) failPeer(from int, err error) {
 	b.mu.Lock()
 	if b.peerErr[from] == nil {
@@ -643,8 +1074,116 @@ func (b *mailbox) failPeer(from int, err error) {
 	b.cond.Broadcast()
 }
 
+// markDown records a recoverable peer failure and wakes blocked receivers
+// and notify listeners.
+func (b *mailbox) markDown(from int, err error) {
+	b.mu.Lock()
+	if b.down[from] == nil {
+		b.down[from] = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	b.pulse()
+}
+
+// clearDown re-arms data receives after a completed recovery.
+func (b *mailbox) clearDown() {
+	b.mu.Lock()
+	b.down = make(map[int]error)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) downPeers() []int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]int, 0, len(b.down))
+	for p := range b.down {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (b *mailbox) currentEpoch() uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch
+}
+
+// advanceEpoch raises the epoch and discards queued data messages from
+// older epochs (traffic of failed rounds).
+func (b *mailbox) advanceEpoch(e uint32) {
+	b.mu.Lock()
+	if e > b.epoch {
+		b.epoch = e
+		kept := b.queue[:0]
+		for _, m := range b.queue {
+			if m.epoch >= e {
+				kept = append(kept, m)
+			}
+		}
+		b.queue = kept
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// putCtrl queues a control-plane message, waking blocked data receivers
+// (which abort with a recoverable interrupt) and notify listeners.
+func (b *mailbox) putCtrl(m ctrlMsg) {
+	b.mu.Lock()
+	b.ctrl = append(b.ctrl, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	b.pulse()
+}
+
+// getCtrl pops the next control message, waiting until the deadline.
+func (b *mailbox) getCtrl(deadline time.Time) (ctrlMsg, error) {
+	// The wake-up must hold b.mu: an unlocked Broadcast can land between
+	// a waiter's deadline check and its cond.Wait registration and be
+	// lost, leaving the waiter blocked past the deadline forever.
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.cond.Broadcast()
+	})
+	defer timer.Stop()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if len(b.ctrl) > 0 {
+			m := b.ctrl[0]
+			b.ctrl = b.ctrl[1:]
+			return m, nil
+		}
+		if b.err != nil {
+			return ctrlMsg{}, b.err
+		}
+		if !time.Now().Before(deadline) {
+			return ctrlMsg{}, fmt.Errorf("tcpnet: rank %d: ctrl receive timed out", b.rank)
+		}
+		b.cond.Wait()
+	}
+}
+
+// pulse makes CtrlNotify listeners runnable without blocking.
+func (b *mailbox) pulse() {
+	select {
+	case b.notify <- struct{}{}:
+	default:
+	}
+}
+
 func (b *mailbox) pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.queue)
+}
+
+func (b *mailbox) ctrlPending() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ctrl) > 0
 }

@@ -177,15 +177,17 @@ func TestCorruptFramePoisonsRecv(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := &Transport{
-		rank:   1,
-		p:      2,
-		start:  time.Now(),
-		logf:   func(string, ...any) {},
-		box:    newMailbox(),
-		out:    make([]*link, 2),
-		curIn:  make([]net.Conn, 2),
-		closed: make(chan struct{}),
-		ln:     ln,
+		rank:     1,
+		p:        2,
+		start:    time.Now(),
+		logf:     func(string, ...any) {},
+		box:      newMailbox(),
+		out:      make([]*link, 2),
+		curIn:    make([]net.Conn, 2),
+		inIncar:  make([]uint64, 2),
+		outIncar: make([]uint64, 2),
+		closed:   make(chan struct{}),
+		ln:       ln,
 	}
 	inbound := make(chan int, 2)
 	go tr.acceptLoop(inbound)
@@ -211,7 +213,8 @@ func TestCorruptFramePoisonsRecv(t *testing.T) {
 	binary.LittleEndian.PutUint32(head[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(head[4:8], 3)
 	binary.LittleEndian.PutUint32(head[8:12], 1)
-	binary.LittleEndian.PutUint32(head[12:16], crc32.ChecksumIEEE(payload)^0xdeadbeef)
+	binary.LittleEndian.PutUint32(head[12:16], 0) // epoch
+	binary.LittleEndian.PutUint32(head[16:20], crc32.ChecksumIEEE(payload)^0xdeadbeef)
 	conn.Write(head[:])
 	conn.Write(payload)
 
@@ -301,15 +304,17 @@ func TestHandshakeRejectsWrongClusterSize(t *testing.T) {
 		t.Fatal(err)
 	}
 	tr := &Transport{
-		rank:   1,
-		p:      2,
-		start:  time.Now(),
-		logf:   func(string, ...any) {},
-		box:    newMailbox(),
-		out:    make([]*link, 2),
-		curIn:  make([]net.Conn, 2),
-		closed: make(chan struct{}),
-		ln:     ln,
+		rank:     1,
+		p:        2,
+		start:    time.Now(),
+		logf:     func(string, ...any) {},
+		box:      newMailbox(),
+		out:      make([]*link, 2),
+		curIn:    make([]net.Conn, 2),
+		inIncar:  make([]uint64, 2),
+		outIncar: make([]uint64, 2),
+		closed:   make(chan struct{}),
+		ln:       ln,
 	}
 	inbound := make(chan int, 2)
 	go tr.acceptLoop(inbound)

@@ -83,3 +83,23 @@ func (s *Stats) Add(o Stats) {
 type StatsSource interface {
 	Stats() Stats
 }
+
+// Fault marks a transport error as *recoverable*: the peer may come back
+// (crash-restart) and the layer above can re-synchronize instead of
+// aborting the run. Fault-tolerant transports panic with a Fault value
+// from Send/Recv when a peer is lost mid-collective; serving layers
+// recover it (see AsFault) and run their recovery protocol. Errors that
+// do not implement Fault remain fatal.
+type Fault interface {
+	error
+	TransportFault()
+}
+
+// AsFault extracts a Fault from a recovered panic value.
+func AsFault(r any) (Fault, bool) {
+	if r == nil {
+		return nil, false
+	}
+	f, ok := r.(Fault)
+	return f, ok
+}

@@ -145,6 +145,47 @@ func (n *Node) ClusterCounters() Counters {
 // this node (no communication).
 func (n *Node) Seen() int64 { return n.sampler.Seen() }
 
+// MarshalState snapshots this node's sampler state (reservoir contents,
+// thresholds, PRNG) as an opaque blob. Together with the round counter it
+// is everything a crash-restarted node needs to resume bit-identically;
+// internal/nodesvc persists one per round boundary.
+func (n *Node) MarshalState() ([]byte, error) {
+	m, ok := n.sampler.(interface{ MarshalBinary() ([]byte, error) })
+	if !ok {
+		return nil, fmt.Errorf("reservoir: %T does not support state snapshots", n.sampler)
+	}
+	return m.MarshalBinary()
+}
+
+// RestoreState restores a MarshalState blob taken at the given round
+// boundary on this node (same Config, same rank, same algorithm).
+// Operation counters reset to zero; use RestoreCounters to reinstate
+// persisted ones.
+func (n *Node) RestoreState(blob []byte, round int) error {
+	u, ok := n.sampler.(interface{ UnmarshalBinary([]byte) error })
+	if !ok {
+		return fmt.Errorf("reservoir: %T does not support state snapshots", n.sampler)
+	}
+	if err := u.UnmarshalBinary(blob); err != nil {
+		return err
+	}
+	n.round = round
+	return nil
+}
+
+// RestoreCounters reinstates operation counters zeroed by RestoreState.
+func (n *Node) RestoreCounters(c Counters) {
+	if r, ok := n.sampler.(interface{ RestoreCounters(core.Counters) }); ok {
+		r.RestoreCounters(c)
+	}
+}
+
+// ResetTags rewinds the node's collective tag sequence (see
+// coll.Comm.Reset). Part of the cluster recovery protocol: every node
+// resets in lockstep after the transport discarded the failed round's
+// traffic. Outside recovery, never call this.
+func (n *Node) ResetTags() { n.comm.Reset() }
+
 // BroadcastValue distributes v from the root rank to every node of n's
 // cluster and returns it on all of them (SPMD). It shares the node's
 // collective tag sequence, so control planes built on it (like

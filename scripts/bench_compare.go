@@ -1,0 +1,107 @@
+// Command bench_compare is the CI bench-regression gate: it diffs two
+// reservoir-bench/v1 reports (docs/BENCHMARKS.md) and fails when any
+// result present in both regresses beyond the allowed factor on the
+// gated metric (throughput by default). CI runs it with the committed
+// baseline against the bench-smoke output of the PR:
+//
+//	go run scripts/bench_compare.go \
+//	    -metric throughput_items_per_s -max-regression 0.30 \
+//	    BENCH_service_baseline.json BENCH_service_smoke.json
+//
+// Only result names appearing in BOTH reports are compared (a smoke run
+// covers a subset of the baseline grid), and at least one overlapping
+// result is required — a gate that silently compares nothing would rot.
+// Shared-runner noise is the reason the default tolerance is a lenient
+// 30%: the gate catches step-function regressions (an accidental O(n²),
+// a lost fast path), not single-digit drift.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Schema  string `json:"schema"`
+	Name    string `json:"name"`
+	Results []struct {
+		Name    string             `json:"name"`
+		Metrics map[string]float64 `json:"metrics"`
+	} `json:"results"`
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != "reservoir-bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q is not reservoir-bench/v1", path, r.Schema)
+	}
+	return &r, nil
+}
+
+func main() {
+	metric := flag.String("metric", "throughput_items_per_s", "metric to gate on (higher is better)")
+	maxReg := flag.Float64("max-regression", 0.30, "maximum allowed fractional regression, e.g. 0.30 = -30%")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: bench_compare [flags] baseline.json new.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(1)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench_compare:", err)
+		os.Exit(1)
+	}
+
+	baseline := make(map[string]float64)
+	for _, res := range base.Results {
+		if v, ok := res.Metrics[*metric]; ok && v > 0 {
+			baseline[res.Name] = v
+		}
+	}
+
+	compared, failed := 0, 0
+	for _, res := range cur.Results {
+		want, ok := baseline[res.Name]
+		if !ok {
+			continue
+		}
+		got, ok := res.Metrics[*metric]
+		if !ok {
+			continue
+		}
+		compared++
+		change := got/want - 1
+		status := "ok"
+		if change < -*maxReg {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("%-32s %-24s base %14.0f  new %14.0f  %+7.1f%%  %s\n",
+			res.Name, *metric, want, got, change*100, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: no overlapping results between %s and %s — the gate compared nothing\n",
+			flag.Arg(0), flag.Arg(1))
+		os.Exit(1)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "bench_compare: %d of %d compared results regressed more than %.0f%% on %s\n",
+			failed, compared, *maxReg*100, *metric)
+		os.Exit(1)
+	}
+	fmt.Printf("bench_compare: %d results within %.0f%% of %s\n", compared, *maxReg*100, base.Name)
+}

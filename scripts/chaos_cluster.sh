@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Chaos harness: launch a p-node reservoir-serve cluster with crash-restart
+# tolerance (-rejoin-timeout + per-node -data stores), drive a paced
+# synthetic ingest with reservoir-loadgen -chaos, and kill -9 / restart
+# nodes from the VICTIMS list while the run is live. The run must finish,
+# and reservoir-verify -match must confirm the final sample is
+# byte-identical to an uninterrupted in-process simulator replay — chaos
+# may cost retries and latency, never correctness.
+#
+# Env knobs:
+#   VICTIMS        space-separated kill/restart cycle ranks (default "2 1";
+#                  rank 0 is legal — the control API goes down and
+#                  loadgen -chaos rides it out)
+#   KILL_DELAY     seconds before the first kill          (default 2)
+#   RESTART_DELAY  seconds a victim stays dead            (default 1.5)
+#   CYCLE_GAP      seconds between kill/restart cycles    (default 4)
+#   INTERVAL       loadgen pause between rounds           (default 250ms)
+#
+# Usage: scripts/chaos_cluster.sh [p] [rounds] [batch]
+set -euo pipefail
+
+P="${1:-4}"
+ROUNDS="${2:-40}"
+BATCH="${3:-5000}"
+K="${K:-256}"
+SEED="${SEED:-424242}"
+ALGO="${ALGO:-ours}"
+VICTIMS="${VICTIMS:-2 1}"
+KILL_DELAY="${KILL_DELAY:-2}"
+RESTART_DELAY="${RESTART_DELAY:-1.5}"
+CYCLE_GAP="${CYCLE_GAP:-4}"
+INTERVAL="${INTERVAL:-250ms}"
+REJOIN="${REJOIN:-60s}"
+OUT="${OUT:-BENCH_chaos.json}"
+SAMPLE_OUT="${SAMPLE_OUT:-chaos_sample.json}"
+DATA_ROOT="${DATA_ROOT:-$(mktemp -d /tmp/reservoir-chaos.XXXXXX)}"
+
+cd "$(dirname "$0")/.."
+# shellcheck source=scripts/cluster_lib.sh
+source scripts/cluster_lib.sh
+
+build_binaries
+probe_ports
+make_peers
+install_cleanup_trap
+
+# launch_ft_node RANK — (re)start one node with its durable store.
+launch_ft_node() {
+  launch_node "$1" -rejoin-timeout "$REJOIN" -data "$DATA_ROOT/node$1"
+}
+
+echo "== launching $P fault-tolerant node processes (control: $CONTROL_PORT, data: $DATA_ROOT)"
+for ((i = 0; i < P; i++)); do
+  launch_ft_node "$i"
+done
+
+await_control 150
+
+echo "== starting paced chaos ingest: $ROUNDS rounds of $BATCH items/PE"
+/tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
+  -rounds "$ROUNDS" -batch "$BATCH" -interval "$INTERVAL" \
+  -chaos -chaos-timeout 3m \
+  -name chaos -out "$OUT" -sample-out "$SAMPLE_OUT" &
+LOADGEN_PID=$!
+
+CYCLES=0
+sleep "$KILL_DELAY"
+for victim in $VICTIMS; do
+  if ! kill -0 "$LOADGEN_PID" 2>/dev/null; then
+    echo "loadgen finished before all chaos cycles ran; raise ROUNDS or INTERVAL" >&2
+    break
+  fi
+  echo "== chaos cycle $((CYCLES + 1)): kill -9 node $victim (pid ${PIDS[victim]})"
+  kill -9 "${PIDS[victim]}" 2>/dev/null || true
+  wait "${PIDS[victim]}" 2>/dev/null || true
+  sleep "$RESTART_DELAY"
+  echo "== chaos cycle $((CYCLES + 1)): restart node $victim"
+  launch_ft_node "$victim"
+  CYCLES=$((CYCLES + 1))
+  sleep "$CYCLE_GAP"
+done
+
+if [ "$CYCLES" -lt 2 ]; then
+  echo "only $CYCLES kill/restart cycle(s) executed; the chaos gate needs >= 2" >&2
+  kill "$LOADGEN_PID" 2>/dev/null || true
+  exit 1
+fi
+
+echo "== waiting for the chaos ingest to finish"
+if ! wait "$LOADGEN_PID"; then
+  echo "loadgen failed under chaos" >&2
+  exit 1
+fi
+
+echo "== verifying the post-chaos sample against an uninterrupted simulator replay"
+/tmp/reservoir-verify -match "$SAMPLE_OUT"
+
+echo "== shutting the cluster down"
+curl -sf -X POST "http://127.0.0.1:$CONTROL_PORT/v1/cluster/shutdown"
+echo
+for ((i = 0; i < P; i++)); do
+  wait "${PIDS[i]}" 2>/dev/null || {
+    echo "node $i exited non-zero after chaos run" >&2
+    exit 1
+  }
+done
+trap - EXIT
+
+echo "== chaos OK: $CYCLES kill/restart cycles survived; $OUT and $SAMPLE_OUT written"

@@ -1,0 +1,81 @@
+# Shared harness for the multi-process cluster scripts
+# (e2e_cluster.sh, chaos_cluster.sh). Source this file; it expects the
+# caller to have set P, and provides:
+#
+#   build_binaries            — /tmp/reservoir-{serve,loadgen,verify}
+#   probe_ports               — fills PORTS[0..P-1] + CONTROL_PORT
+#                               (BASE_PORT/CONTROL_PORT env override the
+#                               probing for debugging)
+#   make_peers                — fills PEERS from PORTS
+#   install_cleanup_trap      — kill all PIDS on exit
+#   launch_node RANK [flags]  — start one reservoir-serve node (rank 0
+#                               gets -addr on CONTROL_PORT), recording
+#                               PIDS[RANK]; extra args are appended
+#                               after $EXTRA_NODE_FLAGS
+#   await_control [tries]     — poll rank 0's /healthz until it answers
+#
+# Callers provide K, SEED, ALGO, and optionally EXTRA_NODE_FLAGS.
+
+build_binaries() {
+  echo "== building binaries"
+  go build -o /tmp/reservoir-serve ./cmd/reservoir-serve
+  go build -o /tmp/reservoir-loadgen ./cmd/reservoir-loadgen
+  go build -o /tmp/reservoir-verify ./cmd/reservoir-verify
+}
+
+probe_ports() {
+  echo "== probing free ports"
+  if [ -n "${BASE_PORT:-}" ]; then
+    PORTS=()
+    for ((i = 0; i < P; i++)); do PORTS+=($((BASE_PORT + i))); done
+    CONTROL_PORT="${CONTROL_PORT:-$((BASE_PORT + 90))}"
+  else
+    mapfile -t PROBED < <(go run ./scripts/freeport -n $((P + 1)))
+    PORTS=("${PROBED[@]:0:P}")
+    CONTROL_PORT="${PROBED[P]}"
+  fi
+}
+
+make_peers() {
+  PEERS=""
+  for ((i = 0; i < P; i++)); do
+    PEERS="${PEERS:+$PEERS,}127.0.0.1:${PORTS[i]}"
+  done
+}
+
+PIDS=()
+cluster_cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+}
+install_cleanup_trap() {
+  trap cluster_cleanup EXIT
+}
+
+launch_node() {
+  local rank="$1" addr_arg=""
+  shift
+  if [ "$rank" -eq 0 ]; then
+    addr_arg="-addr 127.0.0.1:$CONTROL_PORT"
+  fi
+  # shellcheck disable=SC2086
+  /tmp/reservoir-serve -peer-id "$rank" -peers "$PEERS" $addr_arg \
+    -k "$K" -seed "$SEED" -algo "$ALGO" ${EXTRA_NODE_FLAGS:-} "$@" &
+  PIDS[rank]=$!
+}
+
+await_control() {
+  local tries="${1:-100}"
+  echo "== waiting for the control API"
+  for i in $(seq 1 "$tries"); do
+    if curl -sf "http://127.0.0.1:$CONTROL_PORT/healthz" >/dev/null 2>&1; then
+      return 0
+    fi
+    if [ "$i" -eq "$tries" ]; then
+      echo "cluster control API never came up" >&2
+      exit 1
+    fi
+    sleep 0.2
+  done
+}

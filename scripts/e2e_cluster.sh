@@ -5,6 +5,12 @@
 # byte-identical to a simulator replay with reservoir-verify -match, and
 # leave BENCH_distributed.json + the sample dump behind as artifacts.
 #
+# Ports are probed at runtime (scripts/freeport), so concurrent jobs on a
+# shared runner cannot collide; BASE_PORT/CONTROL_PORT env vars override
+# the probing for debugging. EXTRA_NODE_FLAGS is appended to every node's
+# command line (e.g. a faultnet schedule: EXTRA_NODE_FLAGS="-fault-drop
+# 0.05 -fault-dup 0.05" — the sample must still verify byte-identical).
+#
 # Usage: scripts/e2e_cluster.sh [p] [rounds] [batch]
 set -euo pipefail
 
@@ -14,54 +20,24 @@ BATCH="${3:-20000}"
 K="${K:-256}"
 SEED="${SEED:-424242}"
 ALGO="${ALGO:-ours}"
-BASE_PORT="${BASE_PORT:-19400}"
-CONTROL_PORT="${CONTROL_PORT:-19490}"
 OUT="${OUT:-BENCH_distributed.json}"
 SAMPLE_OUT="${SAMPLE_OUT:-cluster_sample.json}"
 
 cd "$(dirname "$0")/.."
+# shellcheck source=scripts/cluster_lib.sh
+source scripts/cluster_lib.sh
 
-echo "== building binaries"
-go build -o /tmp/reservoir-serve ./cmd/reservoir-serve
-go build -o /tmp/reservoir-loadgen ./cmd/reservoir-loadgen
-go build -o /tmp/reservoir-verify ./cmd/reservoir-verify
+build_binaries
+probe_ports
+make_peers
+install_cleanup_trap
 
-PEERS=""
+echo "== launching $P node processes (peers: $PEERS, control: $CONTROL_PORT)"
 for ((i = 0; i < P; i++)); do
-  PEERS="${PEERS:+$PEERS,}127.0.0.1:$((BASE_PORT + i))"
+  launch_node "$i"
 done
 
-PIDS=()
-cleanup() {
-  for pid in "${PIDS[@]:-}"; do
-    kill "$pid" 2>/dev/null || true
-  done
-}
-trap cleanup EXIT
-
-echo "== launching $P node processes (peers: $PEERS)"
-for ((i = 0; i < P; i++)); do
-  ADDR_ARG=""
-  if [ "$i" -eq 0 ]; then
-    ADDR_ARG="-addr 127.0.0.1:$CONTROL_PORT"
-  fi
-  # shellcheck disable=SC2086
-  /tmp/reservoir-serve -peer-id "$i" -peers "$PEERS" $ADDR_ARG \
-    -k "$K" -seed "$SEED" -algo "$ALGO" &
-  PIDS+=($!)
-done
-
-echo "== waiting for the control API"
-for i in $(seq 1 100); do
-  if curl -sf "http://127.0.0.1:$CONTROL_PORT/healthz" >/dev/null 2>&1; then
-    break
-  fi
-  if [ "$i" -eq 100 ]; then
-    echo "cluster control API never came up" >&2
-    exit 1
-  fi
-  sleep 0.2
-done
+await_control
 curl -s "http://127.0.0.1:$CONTROL_PORT/healthz"
 echo
 

@@ -1,0 +1,39 @@
+// Command freeport prints n currently-free TCP ports on 127.0.0.1, one
+// per line. The CI scripts use it instead of hardcoded port ranges so
+// concurrent jobs on a shared runner cannot collide: all n listeners are
+// held open simultaneously while probing, so the printed ports are
+// distinct and free at the moment of printing.
+//
+//	go run ./scripts/freeport -n 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	n := flag.Int("n", 1, "number of free ports to print")
+	flag.Parse()
+	if *n < 1 || *n > 1024 {
+		fmt.Fprintf(os.Stderr, "freeport: -n must be in [1, 1024], got %d\n", *n)
+		os.Exit(2)
+	}
+	listeners := make([]net.Listener, 0, *n)
+	defer func() {
+		for _, ln := range listeners {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < *n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "freeport:", err)
+			os.Exit(1)
+		}
+		listeners = append(listeners, ln)
+		fmt.Println(ln.Addr().(*net.TCPAddr).Port)
+	}
+}
