@@ -1,0 +1,145 @@
+// Package analysistest runs an analyzer over GOPATH-style fixture
+// packages (testdata/src/<importpath>/*.go) and checks its diagnostics
+// against `// want "regexp"` comments in the fixture source — the same
+// contract as golang.org/x/tools/go/analysis/analysistest, implemented
+// on the repo's dependency-free analysis framework.
+//
+// Each `// want` comment expects one diagnostic on its line whose
+// message matches the double-quoted regular expression; several
+// expectations may share one comment (`// want "a" "b"`). Lines without
+// a want comment must produce no diagnostic. Fixtures may import other
+// fixture packages by their path under src/ (stubs for transport, store,
+// ...) and the standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"reservoir/internal/analysis"
+)
+
+// Result is one fixture package's outcome, exposed so tests can make
+// extra assertions (waiver census, zero-diagnostic cleanliness).
+type Result = analysis.PackageResult
+
+// Run loads each fixture package under srcRoot, applies the analyzer,
+// and reports mismatches against the fixtures' want comments on t. It
+// returns the per-package results in pkgpaths order.
+func Run(t *testing.T, srcRoot string, a *analysis.Analyzer, pkgpaths ...string) []*Result {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := analysis.NewFixtureImporter(srcRoot, fset)
+	var results []*Result
+	for _, path := range pkgpaths {
+		pkg, err := imp.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		res, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %q: %v", a.Name, path, err)
+		}
+		checkExpectations(t, fset, pkg, res)
+		results = append(results, res)
+	}
+	return results
+}
+
+// expectation is one parsed `// want "re"` clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// checkExpectations cross-checks diagnostics against want comments.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *analysis.Package, res *Result) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := splitQuoted(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range res.Diagnostics {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claim matches a diagnostic against the unclaimed expectations on its
+// line.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// splitQuoted parses a sequence of double-quoted or backquoted Go
+// strings.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			return nil, fmt.Errorf("expected quoted pattern at %q", s)
+		}
+		end := 1
+		for end < len(s) {
+			if quote == '"' && s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == quote {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return nil, fmt.Errorf("unterminated pattern in %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		s = strings.TrimSpace(s[end+1:])
+	}
+	return out, nil
+}

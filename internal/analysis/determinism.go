@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicScope lists the path segments of packages whose every
+// sampling decision must be a pure function of (seed, inputs): the paper's
+// correctness argument (and the simnet/tcpnet byte-equivalence suite, and
+// crash-restart replay) assumes every PE makes identical pseudo-random
+// decisions given the same seed.
+var deterministicScope = []string{
+	"core", "coll", "distsel", "rng", "workload", "quickselect", "btree", "simnet",
+}
+
+// wallClockFuncs are the package-level time functions that read the wall
+// clock (or schedule on it). time.Duration arithmetic and constants are
+// fine; observing real time is not.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded local state — the sanctioned way to draw random numbers in the
+// deterministic packages. Every other package-level rand function draws
+// from the process-global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// Determinism forbids, inside the deterministic packages, the four ways
+// nondeterminism sneaks past example-based tests: wall-clock reads,
+// global math/rand state, map iteration (order differs per process, so
+// any map range that can reach a sampling decision or encoded output
+// diverges a cluster), and goroutine spawns off the worker-owned path.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall clocks, global math/rand, map iteration, and goroutine " +
+		"spawns in the deterministic sampling packages",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !hasSegment(pass.PkgPath, deterministicScope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterministicCall(pass, n)
+			case *ast.RangeStmt:
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						pass.Reportf(n.Pos(), "map iteration order is nondeterministic; "+
+							"iterate a sorted key slice (or waive if order provably cannot reach a sampling decision or encoded output)")
+					}
+				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "goroutine spawned in a deterministic package; "+
+					"sampling state must stay owned by one worker goroutine")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterministicCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return // methods (e.g. on a seeded *rand.Rand) are fine
+	}
+	switch pkgPathOf(fn) {
+	case "time":
+		if wallClockFuncs[fn.Name()] {
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock; deterministic packages must take time (if any) as an input", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[fn.Name()] {
+			pass.Reportf(call.Pos(), "%s.%s draws from the process-global random source; use an explicitly seeded *rand.Rand", pkgPathOf(fn), fn.Name())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"reservoir/internal/analysis"
+	"reservoir/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	results := analysistest.Run(t, "testdata/src", analysis.Determinism,
+		"core/flagged", "core/clean", "core/waived", "plain")
+
+	flagged, clean, waived, plain := results[0], results[1], results[2], results[3]
+	if n := len(flagged.Diagnostics); n != 5 {
+		t.Errorf("core/flagged: want 5 diagnostics, got %d", n)
+	}
+	if n := len(clean.Diagnostics); n != 0 {
+		t.Errorf("core/clean: want 0 diagnostics, got %d: %v", n, clean.Diagnostics)
+	}
+	if n := len(waived.Waivers); n != 2 {
+		t.Errorf("core/waived: want 2 used waivers in the census, got %d: %v", n, waived.Waivers)
+	}
+	if n := len(waived.Unused); n != 1 {
+		t.Errorf("core/waived: want 1 stale waiver, got %d", n)
+	}
+	if n := len(plain.Diagnostics); n != 0 {
+		t.Errorf("plain: out-of-scope package must produce no diagnostics, got %d", n)
+	}
+}

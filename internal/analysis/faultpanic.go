@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// faultPanicScope lists the path segments of the cluster-facing packages
+// where recover() is how transport faults reach the resync machinery.
+// ("reservoir" covers the module root package: Cluster and Node.)
+var faultPanicScope = []string{
+	"reservoir", "nodesvc", "coll", "core", "distsel",
+	"simnet", "tcpnet", "faultnet", "transport",
+}
+
+// faultCheckFuncs are the transport helpers that classify a recovered
+// panic value. A recover() body that calls one of them (or type-asserts
+// against transport.Fault directly) is doing the mandated triage.
+var faultCheckFuncs = map[string]bool{
+	"AsFault": true, "IsTransportPanic": true,
+}
+
+// FaultPanic enforces the fault-recovery triage rule: cluster code that
+// calls recover() must type-check the recovered value against
+// transport.Fault (via transport.AsFault / transport.IsTransportPanic or
+// a direct type assertion) and re-panic everything else. A blanket
+// recover that converts any panic into an error return would swallow
+// real bugs — a nil dereference in the sampler would present as a
+// routine transport failure and be "recovered" from, silently corrupting
+// the run instead of crashing it.
+var FaultPanic = &Analyzer{
+	Name: "faultpanic",
+	Doc: "recover() in cluster code must type-check for transport.Fault " +
+		"and re-panic non-fault panics",
+	Run: runFaultPanic,
+}
+
+func runFaultPanic(pass *Pass) error {
+	if !hasSegment(pass.PkgPath, faultPanicScope...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		// Map each function node to the facts faultpanic needs about its
+		// body, then judge every recover() against its enclosing function.
+		type funcFacts struct {
+			recovers []*ast.CallExpr
+			triages  bool // calls AsFault/IsTransportPanic or asserts transport.Fault
+			repanics bool // contains a panic(...) call
+		}
+		facts := make(map[ast.Node]*funcFacts)
+		factsFor := func(fn ast.Node) *funcFacts {
+			f := facts[fn]
+			if f == nil {
+				f = &funcFacts{}
+				facts[fn] = f
+			}
+			return f
+		}
+		walkFuncs(file, func(fn ast.Node, n ast.Node) {
+			if fn == nil {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch {
+				case isBuiltin(pass.TypesInfo, n, "recover"):
+					factsFor(fn).recovers = append(factsFor(fn).recovers, n)
+				case isBuiltin(pass.TypesInfo, n, "panic"):
+					factsFor(fn).repanics = true
+				default:
+					if callee := calleeFunc(pass.TypesInfo, n); callee != nil &&
+						faultCheckFuncs[callee.Name()] && hasSegment(pkgPathOf(callee), "transport") {
+						factsFor(fn).triages = true
+					}
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type != nil && isTransportFaultType(pass.TypesInfo, n.Type) {
+					factsFor(fn).triages = true
+				}
+			case *ast.CaseClause: // type-switch cases
+				for _, expr := range n.List {
+					if isTransportFaultType(pass.TypesInfo, expr) {
+						factsFor(fn).triages = true
+					}
+				}
+			}
+		})
+		for _, f := range facts {
+			for _, rec := range f.recovers {
+				switch {
+				case !f.triages:
+					pass.Reportf(rec.Pos(), "recover() without a transport.Fault check: "+
+						"classify the panic with transport.AsFault/IsTransportPanic (or a type assertion) and re-panic real bugs")
+				case !f.repanics:
+					pass.Reportf(rec.Pos(), "recover() classifies the panic but never re-panics: "+
+						"non-fault panics are real bugs and must propagate")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// isTransportFaultType reports whether the type expression names the
+// transport Fault interface or a concrete transport error type
+// (FaultError, FatalError), possibly through a pointer.
+func isTransportFaultType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !hasSegment(obj.Pkg().Path(), "transport", "tcpnet", "faultnet") {
+		return false
+	}
+	switch obj.Name() {
+	case "Fault", "FaultError", "FatalError":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"reservoir/internal/analysis"
+	"reservoir/internal/analysis/analysistest"
+)
+
+func TestFaultPanic(t *testing.T) {
+	results := analysistest.Run(t, "testdata/src", analysis.FaultPanic,
+		"nodesvc/flagged", "nodesvc/clean", "nodesvc/waived")
+
+	flagged, clean, waived := results[0], results[1], results[2]
+	if n := len(flagged.Diagnostics); n != 2 {
+		t.Errorf("flagged: want 2 diagnostics, got %d: %v", n, flagged.Diagnostics)
+	}
+	if n := len(clean.Diagnostics); n != 0 {
+		t.Errorf("clean: want 0 diagnostics, got %d: %v", n, clean.Diagnostics)
+	}
+	if n := len(waived.Waivers); n != 1 {
+		t.Errorf("waived: want 1 used waiver, got %d", n)
+	}
+	if n := len(waived.Diagnostics); n != 0 {
+		t.Errorf("waived: want 0 diagnostics, got %d: %v", n, waived.Diagnostics)
+	}
+}

@@ -1,0 +1,294 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// collectivePayloadArg maps the collective functions of internal/coll
+// (and the module root's BroadcastValue wrapper) to the index of their
+// payload argument.
+var collectivePayloadArg = map[string]int{
+	"Broadcast":      2, // Broadcast(c, root, val, words)
+	"Reduce":         2, // Reduce(c, root, val, op, words)
+	"AllReduce":      1, // AllReduce(c, val, op, words)
+	"Gather":         2, // Gather(c, root, items, wordsPerItem)
+	"AllGather":      1, // AllGather(c, items, wordsPerItem)
+	"BroadcastValue": 2, // BroadcastValue(node, root, val, words)
+}
+
+// GobWire checks every payload that can cross a wire transport — the
+// payload argument of transport Conn.Send / SendCtrl calls and of the
+// collectives — for the two silent gob failure modes PR 4 hit: struct
+// fields that are unexported (gob drops them without error, so the
+// simulator — which passes references — agrees with itself while the
+// real network loses data) and named payload types sent point-to-point
+// without a gob registration (the collectives self-register via
+// transport.RegisterType at operation entry; direct Send callers must
+// register in their own package).
+var GobWire = &Analyzer{
+	Name: "gobwire",
+	Doc: "transport payload types must have exported fields and, for " +
+		"direct sends, a gob registration in the sending package",
+	Run: runGobWire,
+}
+
+func runGobWire(pass *Pass) error {
+	conn := lookupTransportConn(pass.Pkg)
+
+	// Named types this package gob-registers (via transport.Register,
+	// transport.RegisterType, or encoding/gob.Register directly).
+	registered := findRegisteredTypes(pass)
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			payload, direct := payloadArg(pass.TypesInfo, call, conn)
+			if payload == nil {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[payload]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			t := tv.Type
+			if _, isIface := t.Underlying().(*types.Interface); isIface {
+				return true // dynamic payload: cannot check statically
+			}
+			checkExportedFields(pass, payload.Pos(), t)
+			if direct {
+				checkRegistered(pass, payload.Pos(), t, registered)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// payloadArg returns the payload expression of a wire-crossing call and
+// whether it is a direct point-to-point send (which needs an explicit
+// registration, unlike the self-registering collectives).
+func payloadArg(info *types.Info, call *ast.CallExpr, conn *types.Interface) (ast.Expr, bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, false
+	}
+	if idx, ok := collectivePayloadArg[fn.Name()]; ok &&
+		hasSegment(pkgPathOf(fn), "coll", "reservoir") && len(call.Args) > idx {
+		return call.Args[idx], false
+	}
+	if isMethodNamed(fn, "Send") && len(call.Args) == 4 {
+		recv := receiverType(info, call)
+		if recv != nil && implementsConn(recv, conn) {
+			return call.Args[2], true
+		}
+	}
+	if isMethodNamed(fn, "SendCtrl") && len(call.Args) == 3 {
+		return call.Args[1], true
+	}
+	return nil, false
+}
+
+// checkExportedFields walks the payload type (through slices, arrays,
+// maps, pointers, and nested structs) and flags unexported struct fields
+// gob would silently drop. Types that implement their own wire encoding
+// (GobEncoder / BinaryMarshaler) are skipped: gob never sees their
+// fields.
+func checkExportedFields(pass *Pass, pos token.Pos, t types.Type) {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok && selfEncoding(named) {
+			return
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if !f.Exported() && !f.Embedded() {
+					pass.Reportf(pos, "payload type %s has unexported field %q: gob silently drops it, "+
+						"so the wire transport diverges from the by-reference simulator", typeName(t), f.Name())
+					continue
+				}
+				walk(f.Type())
+			}
+		case *types.Slice:
+			walk(u.Elem())
+		case *types.Array:
+			walk(u.Elem())
+		case *types.Pointer:
+			walk(u.Elem())
+		case *types.Map:
+			walk(u.Key())
+			walk(u.Elem())
+		}
+	}
+	walk(t)
+}
+
+// selfEncoding reports whether the type (or its pointer) provides its
+// own gob wire format.
+func selfEncoding(named *types.Named) bool {
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "GobEncode", "MarshalBinary":
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkRegistered flags named payload types sent point-to-point without
+// a gob registration in the sending package. Unnamed basic types (int,
+// string, ...) are pre-registered by gob itself.
+func checkRegistered(pass *Pass, pos token.Pos, t types.Type, registered map[string]bool) {
+	base := t
+	if p, ok := base.(*types.Pointer); ok {
+		base = p.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok {
+		return
+	}
+	if _, isBasic := named.Underlying().(*types.Basic); isBasic {
+		return // gob encodes named basics via their kind
+	}
+	if !registered[named.Obj().Name()] {
+		pass.Reportf(pos, "payload type %s is sent point-to-point but never gob-registered in this "+
+			"package: wire transports cannot decode it (call transport.Register at init or before the first send)",
+			typeName(base))
+	}
+}
+
+// findRegisteredTypes scans the package for transport.Register /
+// transport.RegisterType / gob.Register calls and returns the names of
+// the named types they mention.
+func findRegisteredTypes(pass *Pass) map[string]bool {
+	registered := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			isReg := (fn.Name() == "Register" || fn.Name() == "RegisterType") &&
+				(hasSegment(pkgPathOf(fn), "transport") || pkgPathOf(fn) == "encoding/gob")
+			if !isReg {
+				return true
+			}
+			// Value form: Register(resyncMsg{}) / Register(&T{}) — take the
+			// argument's named type. Type-argument form: RegisterType[T]().
+			for _, arg := range call.Args {
+				if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Type != nil {
+					collectNamed(tv.Type, registered)
+				}
+			}
+			if ix, ok := instanceTypeArgs(pass.TypesInfo, call); ok {
+				for _, t := range ix {
+					collectNamed(t, registered)
+				}
+			}
+			return true
+		})
+	}
+	return registered
+}
+
+// collectNamed records the names of all named types reachable from t
+// (through pointers, slices, and one level of composites).
+func collectNamed(t types.Type, out map[string]bool) {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type)
+	walk = func(t types.Type) {
+		if t == nil || seen[t] {
+			return
+		}
+		seen[t] = true
+		if named, ok := t.(*types.Named); ok {
+			out[named.Obj().Name()] = true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			walk(u.Elem())
+		case *types.Slice:
+			walk(u.Elem())
+		case *types.Array:
+			walk(u.Elem())
+		case *types.Map:
+			walk(u.Key())
+			walk(u.Elem())
+		}
+	}
+	walk(t)
+}
+
+// instanceTypeArgs returns the type arguments of a generic call like
+// RegisterType[T]().
+func instanceTypeArgs(info *types.Info, call *ast.CallExpr) ([]types.Type, bool) {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	case *ast.IndexExpr:
+		return instanceTypeArgsOf(info, f.X)
+	case *ast.IndexListExpr:
+		return instanceTypeArgsOf(info, f.X)
+	}
+	if id == nil {
+		return nil, false
+	}
+	inst, ok := info.Instances[id]
+	if !ok || inst.TypeArgs == nil {
+		return nil, false
+	}
+	return typeList(inst.TypeArgs), true
+}
+
+func instanceTypeArgsOf(info *types.Info, x ast.Expr) ([]types.Type, bool) {
+	var id *ast.Ident
+	switch f := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	}
+	if id == nil {
+		return nil, false
+	}
+	inst, ok := info.Instances[id]
+	if !ok || inst.TypeArgs == nil {
+		return nil, false
+	}
+	return typeList(inst.TypeArgs), true
+}
+
+func typeList(l *types.TypeList) []types.Type {
+	out := make([]types.Type, l.Len())
+	for i := range out {
+		out[i] = l.At(i)
+	}
+	return out
+}
+
+// typeName renders a type compactly for diagnostics.
+func typeName(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, parsed, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching patterns (run from dir, module
+// mode) and returns them ready for analysis. It shells out to
+// `go list -export -deps` so dependencies are imported from compiler
+// export data — the same pipeline a build uses — while the target
+// packages themselves are parsed from source with comments (waivers live
+// in comments). Test files are not loaded: the invariants guard
+// production code.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Incomplete,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := checkPackage(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// checkPackage parses and type-checks one package from source.
+func checkPackage(fset *token.FileSet, pkgPath, dir string, goFiles []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkgPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil && len(typeErrs) == 0 {
+		typeErrs = append(typeErrs, err)
+	}
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %v", pkgPath, typeErrs[0])
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// stdExports resolves export-data files for packages outside a fixture
+// tree (the standard library, in practice) by shelling out to
+// `go list -export` once per package, memoized. The fixture loader in
+// analysistest uses it so test stubs can import time, math/rand, etc.
+type stdExports struct {
+	mu    sync.Mutex
+	cache map[string]string
+}
+
+func newStdExports() *stdExports {
+	return &stdExports{cache: make(map[string]string)}
+}
+
+func (s *stdExports) lookup(path string) (io.ReadCloser, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	file, ok := s.cache[path]
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		s.cache[path] = file
+	}
+	return os.Open(file)
+}
+
+// FixtureImporter type-checks packages rooted at a GOPATH-style src
+// directory (testdata/src/<importpath>/*.go), falling back to real
+// export data for anything not present there. It implements
+// types.Importer for the analysistest harness.
+type FixtureImporter struct {
+	SrcRoot string
+	Fset    *token.FileSet
+
+	std  types.Importer
+	pkgs map[string]*Package // fixture packages, by import path
+	seen map[string]bool     // cycle guard
+}
+
+// NewFixtureImporter returns an importer resolving fixture packages
+// under srcRoot.
+func NewFixtureImporter(srcRoot string, fset *token.FileSet) *FixtureImporter {
+	im := &FixtureImporter{
+		SrcRoot: srcRoot,
+		Fset:    fset,
+		pkgs:    make(map[string]*Package),
+		seen:    make(map[string]bool),
+	}
+	im.std = importer.ForCompiler(fset, "gc", newStdExports().lookup)
+	return im
+}
+
+// Import implements types.Importer.
+func (im *FixtureImporter) Import(path string) (*types.Package, error) {
+	pkg, err := im.load(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// Load parses and type-checks the fixture package at srcRoot/path,
+// resolving its imports through the fixture tree first and real export
+// data second.
+func (im *FixtureImporter) Load(path string) (*Package, error) {
+	return im.load(path)
+}
+
+func (im *FixtureImporter) load(path string) (*Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(im.SrcRoot, filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		// Not a fixture package: delegate to real export data.
+		tp, err := im.std.Import(path)
+		if err != nil {
+			return nil, err
+		}
+		return &Package{PkgPath: path, Fset: im.Fset, Types: tp}, nil
+	}
+	if im.seen[path] {
+		return nil, fmt.Errorf("fixture import cycle through %q", path)
+	}
+	im.seen[path] = true
+	defer delete(im.seen, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	sort.Strings(goFiles)
+	pkg, err := checkPackage(im.Fset, path, dir, goFiles, im)
+	if err != nil {
+		return nil, err
+	}
+	im.pkgs[path] = pkg
+	return pkg, nil
+}

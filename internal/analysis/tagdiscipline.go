@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TagDiscipline enforces the collective layer's ownership of the
+// transport tag space: the tag argument of a transport Send/Recv must
+// trace to the coll.Comm tag allocator (a variable, ultimately fed by
+// Comm.nextTag) or to a reserved control-tag constant declared in a
+// transport package — never a bare integer literal. Hand-picked literal
+// tags collide silently with allocator-issued tags, and the upcoming
+// multi-tenant tag namespacing (one tag range per run on a shared
+// cluster) makes untraceable tags unauditable.
+var TagDiscipline = &Analyzer{
+	Name: "tagdiscipline",
+	Doc: "transport Send/Recv tags must come from the coll.Comm allocator " +
+		"or reserved control-tag constants, never integer literals",
+	Run: runTagDiscipline,
+}
+
+func runTagDiscipline(pass *Pass) error {
+	conn := lookupTransportConn(pass.Pkg)
+	if conn == nil {
+		return nil // package cannot reach the transport tag space
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tagArg, method := transportTagArg(pass.TypesInfo, call, conn)
+			if tagArg == nil {
+				return true
+			}
+			checkTagExpr(pass, tagArg, method)
+			return true
+		})
+	}
+	return nil
+}
+
+// transportTagArg returns the tag argument of a transport Send/Recv
+// call, or nil if call is not one. Send(to, tag, payload, words) and
+// Recv(from, tag) both carry the tag at index 1; the receiver must
+// satisfy the transport Conn interface (which also covers calls through
+// the interface itself and wrappers like faultnet's Conn).
+func transportTagArg(info *types.Info, call *ast.CallExpr, conn *types.Interface) (ast.Expr, string) {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil, ""
+	}
+	var want int
+	switch fn.Name() {
+	case "Send":
+		want = 4
+	case "Recv":
+		want = 2
+	default:
+		return nil, ""
+	}
+	if !isMethodNamed(fn, fn.Name()) || len(call.Args) != want {
+		return nil, ""
+	}
+	recv := receiverType(info, call)
+	if recv == nil || !implementsConn(recv, conn) {
+		return nil, ""
+	}
+	return call.Args[1], fn.Name()
+}
+
+// checkTagExpr flags tag expressions that fold to a compile-time
+// constant without spelling any reserved transport constant: those are
+// hand-picked literals. Non-constant expressions (variables holding
+// allocator-issued tags, tag+1 arithmetic on them) pass.
+func checkTagExpr(pass *Pass, tag ast.Expr, method string) {
+	tv, ok := pass.TypesInfo.Types[tag]
+	if !ok || tv.Value == nil {
+		return // not a constant: traces to a tag variable
+	}
+	fromTransport := func(pkg *types.Package) bool {
+		return pkg != nil && hasSegment(pkg.Path(), "transport", "tcpnet")
+	}
+	if exprMentionsConst(pass.TypesInfo, tag, fromTransport) {
+		return // reserved control-tag constant
+	}
+	pass.Reportf(tag.Pos(), "%s tag %s is an integer literal; tags must come from the "+
+		"coll.Comm allocator or a reserved transport control-tag constant", method, tv.Value)
+}

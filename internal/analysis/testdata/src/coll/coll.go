@@ -1,0 +1,36 @@
+// Package coll is a fixture stub of the collective layer gobwire keys on.
+package coll
+
+import "transport"
+
+// Comm is a communicator stub.
+type Comm struct {
+	Conn transport.Conn
+	seq  int
+}
+
+// NextTag allocates a fresh collective tag (stands in for the real
+// unexported allocator when fixtures need a traced tag source).
+func (c *Comm) NextTag() int {
+	t := c.seq
+	c.seq++
+	return t
+}
+
+// Broadcast distributes val from root to all PEs.
+func Broadcast[T any](c *Comm, root int, val T, words int) T {
+	transport.RegisterType[T]()
+	return val
+}
+
+// AllReduce combines the PEs' values.
+func AllReduce[T any](c *Comm, val T, op func(a, b T) T, words int) T {
+	transport.RegisterType[T]()
+	return val
+}
+
+// Gather collects a slice from every PE at root.
+func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
+	transport.RegisterType[[]T]()
+	return [][]T{items}
+}

@@ -1,0 +1,24 @@
+// Package clean shows the sanctioned deterministic idioms: explicitly
+// seeded local randomness, key slices instead of map iteration, duration
+// arithmetic without clock reads. No diagnostic is expected anywhere in
+// this package.
+package clean
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Threshold draws from a seeded source and walks keys from a slice the
+// caller controls.
+func Threshold(seed int64, keys []string, weights map[string]float64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	sum := rng.Float64()
+	sort.Strings(keys)
+	for _, k := range keys {
+		sum += weights[k]
+	}
+	const tick = 10 * time.Millisecond // Duration arithmetic is fine.
+	return sum + tick.Seconds()
+}

@@ -1,0 +1,23 @@
+// Package flagged exercises every determinism violation class.
+package flagged
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Threshold mixes every forbidden nondeterminism source into a value
+// that reaches a sampling decision.
+func Threshold(weights map[string]float64) float64 {
+	t := float64(time.Now().UnixNano()) // want `time\.Now reads the wall clock`
+	d := time.Since(time.Unix(0, 0))    // want `time\.Since reads the wall clock`
+	x := rand.Float64()                 // want `math/rand\.Float64 draws from the process-global random source`
+	sum := t + d.Seconds() + x
+	for k, w := range weights { // want `map iteration order is nondeterministic`
+		sum += w * float64(len(k))
+	}
+	go func() { // want `goroutine spawned in a deterministic package`
+		sum++
+	}()
+	return sum
+}

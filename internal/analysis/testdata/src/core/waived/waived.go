@@ -1,0 +1,19 @@
+// Package waived exercises the //lint:allow waiver forms: trailing
+// (covers its own line), standalone (covers the next line), and stale
+// (suppresses nothing — itself a violation).
+package waived
+
+import "time"
+
+// Uptime reads the wall clock behind two sanctioned waivers.
+func Uptime(m map[string]int) float64 {
+	t := time.Now() //lint:allow determinism -- operator-facing uptime metric, never reaches a sampling decision
+	n := 0
+	//lint:allow determinism -- accumulation is commutative, order cannot reach encoded output
+	for _, v := range m {
+		n += v
+	}
+	return time.Since(t).Seconds() + float64(n) // want `time\.Since reads the wall clock`
+}
+
+//lint:allow determinism -- stale waiver below a function, covers nothing // want `stale waiver`

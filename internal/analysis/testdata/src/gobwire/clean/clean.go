@@ -1,0 +1,31 @@
+// Package clean sends only wire-safe payloads; no diagnostics expected.
+package clean
+
+import (
+	"time"
+
+	"coll"
+	"transport"
+)
+
+// rec is fully exported and registered for direct sends.
+type rec struct {
+	Src   int
+	Items []float64
+	// Stamp's fields are unexported, but time.Time implements
+	// MarshalBinary, so gob never sees them.
+	Stamp time.Time
+}
+
+func init() { transport.Register(rec{}) }
+
+// Exchange sends registered, fully exported payloads.
+func Exchange(c transport.Conn, comm *coll.Comm) {
+	tag := comm.NextTag()
+	c.Send(1, tag, rec{Src: 1}, 1)
+	// Collectives self-register at operation entry: no package-level
+	// registration needed, only exported fields.
+	coll.Broadcast(comm, 0, rec{}, 1)
+	coll.Gather(comm, 0, []float64{1}, 1)
+	c.Send(1, tag, "plain string payloads need no registration", 1)
+}

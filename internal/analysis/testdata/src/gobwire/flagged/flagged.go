@@ -1,0 +1,36 @@
+// Package flagged sends payloads gob would mangle — the two violation
+// classes gobwire exists for.
+package flagged
+
+import (
+	"coll"
+	"transport"
+)
+
+// chunk has an unexported field: the simulator (by-reference) keeps it,
+// the wire (gob) silently drops it.
+type chunk struct {
+	Src   int
+	items []int
+}
+
+// msg is wire-safe but never registered in this package.
+type msg struct {
+	Seq int
+}
+
+// secret rides a control-plane send with an unexported field.
+type secret struct {
+	token string
+}
+
+type ctrl struct{}
+
+func (ctrl) SendCtrl(to int, payload any, deadline int64) error { return nil }
+
+// Exchange exercises both failure modes.
+func Exchange(c transport.Conn, comm *coll.Comm, ft ctrl) {
+	coll.Broadcast(comm, 0, chunk{Src: 1}, 1) // want `unexported field "items"`
+	c.Send(1, transport.CtrlTag, msg{}, 1)    // want `never gob-registered`
+	ft.SendCtrl(0, secret{}, 0)               // want `unexported field "token"` `never gob-registered`
+}

@@ -1,0 +1,16 @@
+// Package waived sends a simulator-only payload behind a waiver.
+package waived
+
+import "transport"
+
+// refOnly is passed by reference on the in-process simulator and never
+// crosses a wire transport.
+type refOnly struct {
+	buf []byte
+}
+
+// Loopback hands the payload to a simulator-only path.
+func Loopback(c transport.Conn) {
+	//lint:allow gobwire -- simnet-only diagnostic payload, never crosses tcpnet (enforced by the run harness)
+	c.Send(1, transport.CtrlTag, &refOnly{}, 1)
+}

@@ -1,0 +1,35 @@
+// Package clean shows the mandated recover triage: classify against
+// transport.Fault, re-panic everything else. No diagnostics expected.
+package clean
+
+import "transport"
+
+// TryCollective absorbs transport faults and propagates real bugs.
+func TryCollective(body func()) (fault bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := transport.AsFault(r); ok {
+				fault = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
+	return false
+}
+
+// Boundary uses a direct type assertion instead of the helper.
+func Boundary(body func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if f, ok := r.(transport.Fault); ok {
+				err = f
+				return
+			}
+			panic(r)
+		}
+	}()
+	body()
+	return nil
+}

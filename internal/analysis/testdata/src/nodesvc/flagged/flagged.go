@@ -1,0 +1,32 @@
+// Package flagged recovers without proper fault triage — the violation
+// classes faultpanic exists for.
+package flagged
+
+import (
+	"fmt"
+	"transport"
+)
+
+// Blanket converts every panic, including real bugs, into an error.
+func Blanket(body func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil { // want `recover\(\) without a transport\.Fault check`
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	body()
+	return nil
+}
+
+// Swallow triages the panic but forgets to re-panic real bugs.
+func Swallow(body func()) (fault bool) {
+	defer func() {
+		if r := recover(); r != nil { // want `classifies the panic but never re-panics`
+			if _, ok := transport.AsFault(r); ok {
+				fault = true
+			}
+		}
+	}()
+	body()
+	return false
+}

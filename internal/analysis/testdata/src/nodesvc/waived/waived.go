@@ -1,0 +1,21 @@
+// Package waived holds a deliberate blanket recover behind a waiver.
+package waived
+
+// CollectAll gathers panics from SPMD worker bodies and re-raises them
+// later as a group (the simnet.Parallel pattern), so the per-site
+// re-panic rule is waived.
+func CollectAll(bodies []func()) []any {
+	panics := make([]any, len(bodies))
+	for i, body := range bodies {
+		func() {
+			defer func() {
+				//lint:allow faultpanic -- panics are collected and re-raised by the caller after all PEs land
+				if r := recover(); r != nil {
+					panics[i] = r
+				}
+			}()
+			body()
+		}()
+	}
+	return panics
+}

@@ -1,0 +1,14 @@
+// Package plain sits outside the deterministic scope: wall clocks and
+// goroutines are legal here, so no diagnostics are expected.
+package plain
+
+import "time"
+
+// Uptime may read the wall clock freely.
+func Uptime() float64 {
+	start := time.Now()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	return time.Since(start).Seconds()
+}

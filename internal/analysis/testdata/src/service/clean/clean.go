@@ -1,0 +1,42 @@
+// Package clean follows append-before-apply with checked errors; no
+// diagnostics expected.
+package clean
+
+import "store"
+
+type sampler struct{ n int }
+
+func (s *sampler) ProcessBatch(items []int) { s.n += len(items) }
+
+type run struct {
+	log *store.RunLog
+	smp *sampler
+}
+
+// Round appends first, checks the error, then applies.
+func (r *run) Round(items []int) error {
+	if err := r.log.AppendRound(&store.RoundRecord{}); err != nil {
+		return err
+	}
+	r.smp.ProcessBatch(items)
+	return nil
+}
+
+// ViaWrapper persists through a checked wrapper before applying.
+func (r *run) ViaWrapper(items []int) error {
+	if err := r.persist(); err != nil {
+		return err
+	}
+	r.smp.ProcessBatch(items)
+	return nil
+}
+
+func (r *run) persist() error {
+	return r.log.AppendRound(&store.RoundRecord{})
+}
+
+// Replay applies without any append at all: recovery replays rounds the
+// WAL already holds, so a mutation-only function is fine.
+func (r *run) Replay(items []int) {
+	r.smp.ProcessBatch(items)
+}

@@ -1,0 +1,45 @@
+// Package flagged breaks the append-before-apply rule in the ways
+// walorder exists for.
+package flagged
+
+import "store"
+
+type sampler struct{ n int }
+
+func (s *sampler) ProcessBatch(items []int) { s.n += len(items) }
+
+// run holds one persisted run.
+type run struct {
+	log *store.RunLog
+	smp *sampler
+}
+
+// Discarded drops the append error on the floor.
+func (r *run) Discarded(items []int) {
+	r.log.AppendRound(&store.RoundRecord{}) // want `WAL append error discarded`
+	r.smp.ProcessBatch(items)
+}
+
+// Blank assigns the append error to blank.
+func (r *run) Blank(items []int) {
+	_ = r.log.AppendRound(&store.RoundRecord{}) // want `WAL append error discarded`
+	r.smp.ProcessBatch(items)
+}
+
+// ApplyFirst mutates the sampler before the round is durable.
+func (r *run) ApplyFirst(items []int) error {
+	r.smp.ProcessBatch(items) // want `sampler mutation precedes the WAL append`
+	return r.log.AppendRound(&store.RoundRecord{})
+}
+
+// persist is a wrapper that appends (making it an append point at its
+// call sites).
+func (r *run) persist() error {
+	return r.log.AppendRound(&store.RoundRecord{})
+}
+
+// WrapperDiscarded ignores the wrapper's error.
+func (r *run) WrapperDiscarded(items []int) {
+	r.persist() // want `persistence wrapper's error discarded`
+	r.smp.ProcessBatch(items)
+}

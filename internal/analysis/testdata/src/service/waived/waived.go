@@ -1,0 +1,22 @@
+// Package waived holds a deliberate apply-before-append behind a waiver.
+package waived
+
+import "store"
+
+type sampler struct{ n int }
+
+func (s *sampler) ProcessBatch(items []int) { s.n += len(items) }
+
+type run struct {
+	log *store.RunLog
+	smp *sampler
+}
+
+// Rebuild replays already-durable rounds into a fresh sampler and then
+// appends a marker record: the mutation does not need to be covered by
+// this append.
+func (r *run) Rebuild(items []int) error {
+	//lint:allow walorder -- replaying rounds already durable in the WAL; the trailing append is a recovery marker
+	r.smp.ProcessBatch(items)
+	return r.log.AppendRound(&store.RoundRecord{})
+}

@@ -1,0 +1,13 @@
+// Package store is a fixture stub of the WAL surface walorder keys on.
+package store
+
+// RoundRecord is one WAL round entry.
+type RoundRecord struct {
+	Round uint64
+}
+
+// RunLog is a per-run write-ahead log.
+type RunLog struct{}
+
+// AppendRound appends one round record.
+func (l *RunLog) AppendRound(rec *RoundRecord) error { return nil }

@@ -1,0 +1,17 @@
+// Package clean sources every tag from the allocator or the reserved
+// control-tag constant; no diagnostics expected.
+package clean
+
+import (
+	"coll"
+	"transport"
+)
+
+// Exchange traces all tags to sanctioned sources.
+func Exchange(c transport.Conn, comm *coll.Comm) any {
+	tag := comm.NextTag()
+	c.Send(1, tag, "payload", 1)
+	c.Send(1, tag+1, "payload", 1) // arithmetic on an allocated tag is fine
+	c.Send(1, transport.CtrlTag, "payload", 1)
+	return c.Recv(0, tag)
+}

@@ -1,0 +1,14 @@
+// Package flagged hand-picks transport tags — the violation class.
+package flagged
+
+import "transport"
+
+const homegrown = 9 // a local constant is not a reserved transport tag
+
+// Exchange uses literal and locally invented tags.
+func Exchange(c transport.Conn) any {
+	c.Send(1, 3, "payload", 1)         // want `Send tag 3 is an integer literal`
+	c.Send(1, homegrown, "payload", 1) // want `Send tag 9 is an integer literal`
+	c.Send(1, 2*4+1, "payload", 1)     // want `Send tag 9 is an integer literal`
+	return c.Recv(0, 7)                // want `Recv tag 7 is an integer literal`
+}

@@ -1,0 +1,10 @@
+// Package waived carries one sanctioned literal tag behind a waiver.
+package waived
+
+import "transport"
+
+// Probe uses a literal tag in a diagnostic-only path, waived with a
+// reason.
+func Probe(c transport.Conn) {
+	c.Send(1, 42, "probe", 1) //lint:allow tagdiscipline -- wire-probe tool, never shares a cluster with allocator traffic
+}

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// walOrderScope lists the path segments of packages that feed sampler
+// rounds through the write-ahead log.
+var walOrderScope = []string{"service", "store", "nodesvc"}
+
+// walAppendMethods are the store methods that append a round record to
+// the WAL.
+var walAppendMethods = map[string]bool{"AppendRound": true, "Append": true}
+
+// samplerMutations are the method names that advance sampler state by a
+// round (the mutations a WAL append must precede). They are distinctive
+// enough that a name match plus the package scope is precise in
+// practice.
+var samplerMutations = map[string]bool{
+	"ProcessBatch": true, "ProcessBatches": true, "ProcessRound": true,
+	"ProcessRounds": true,
+}
+
+// WALOrder enforces the append-before-apply rule from the durability
+// design (DESIGN.md §6): in the service/store/nodesvc layers, a WAL
+// append must (a) have its error checked — an ignored append error means
+// a round can mutate the sampler without being durable, so crash
+// recovery replays a different stream — and (b) precede, within its
+// function, any sampler mutation. Functions that persist through a
+// wrapper (e.g. persistRound) are handled by treating any same-package
+// function that directly appends as an append point at its call sites.
+var WALOrder = &Analyzer{
+	Name: "walorder",
+	Doc: "WAL appends must be error-checked and precede the sampler " +
+		"mutation they log (append-before-apply)",
+	Run: runWALOrder,
+}
+
+func runWALOrder(pass *Pass) error {
+	if !hasSegment(pass.PkgPath, walOrderScope...) {
+		return nil
+	}
+
+	// Pass 1: find the package functions that directly append to a WAL.
+	persisters := make(map[*types.Func]bool)
+	for _, file := range pass.Files {
+		walkFuncs(file, func(fn ast.Node, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isWALAppend(pass.TypesInfo, call) {
+				return
+			}
+			if fd, ok := fn.(*ast.FuncDecl); ok {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					persisters[obj] = true
+				}
+			}
+		})
+	}
+
+	// Pass 2: per function, order append points against mutation points
+	// and check that append errors are consumed.
+	for _, file := range pass.Files {
+		type points struct {
+			firstAppend   token.Pos
+			firstMutation token.Pos
+			mutationCall  *ast.CallExpr
+		}
+		pts := make(map[ast.Node]*points)
+		get := func(fn ast.Node) *points {
+			p := pts[fn]
+			if p == nil {
+				p = &points{}
+				pts[fn] = p
+			}
+			return p
+		}
+		// Calls whose result flows somewhere (not a bare statement and
+		// not assigned to blank): collected so the error check can tell
+		// `if err := l.AppendRound(rec); err != nil` from `l.AppendRound(rec)`.
+		discarded := findDiscardedCalls(file)
+
+		walkFuncs(file, func(fn ast.Node, n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || fn == nil {
+				return
+			}
+			switch {
+			case isWALAppend(pass.TypesInfo, call):
+				if discarded[call] {
+					pass.Reportf(call.Pos(), "WAL append error discarded: an unlogged round would "+
+						"mutate the sampler and diverge crash recovery")
+				}
+				p := get(fn)
+				if p.firstAppend == token.NoPos || call.Pos() < p.firstAppend {
+					p.firstAppend = call.Pos()
+				}
+			case isPersisterCall(pass.TypesInfo, call, persisters):
+				if discarded[call] {
+					pass.Reportf(call.Pos(), "persistence wrapper's error discarded: the WAL append "+
+						"inside it can fail without stopping the round")
+				}
+				p := get(fn)
+				if p.firstAppend == token.NoPos || call.Pos() < p.firstAppend {
+					p.firstAppend = call.Pos()
+				}
+			case isSamplerMutation(pass.TypesInfo, call):
+				p := get(fn)
+				if p.firstMutation == token.NoPos || call.Pos() < p.firstMutation {
+					p.firstMutation = call.Pos()
+					p.mutationCall = call
+				}
+			}
+		})
+		for _, p := range pts {
+			if p.firstAppend != token.NoPos && p.firstMutation != token.NoPos &&
+				p.firstMutation < p.firstAppend {
+				pass.Reportf(p.mutationCall.Pos(), "sampler mutation precedes the WAL append in this "+
+					"function: the round's input must be durable before it is applied (append-before-apply)")
+			}
+		}
+	}
+	return nil
+}
+
+// isWALAppend reports whether call invokes a WAL append method on a
+// store type.
+func isWALAppend(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || !walAppendMethods[fn.Name()] || !isMethodNamed(fn, fn.Name()) {
+		return false
+	}
+	return hasSegment(pkgPathOf(fn), "store")
+}
+
+// isPersisterCall reports whether call invokes a same-package function
+// known to append to the WAL.
+func isPersisterCall(info *types.Info, call *ast.CallExpr, persisters map[*types.Func]bool) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && persisters[fn]
+}
+
+// isSamplerMutation reports whether call invokes a sampler round
+// mutation method.
+func isSamplerMutation(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && samplerMutations[fn.Name()] && isMethodNamed(fn, fn.Name())
+}
+
+// findDiscardedCalls returns the calls whose results are thrown away:
+// bare expression statements, `go`/`defer` statements, and assignments
+// where every corresponding left-hand side is blank.
+func findDiscardedCalls(file *ast.File) map[*ast.CallExpr]bool {
+	discarded := make(map[*ast.CallExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				discarded[call] = true
+			}
+		case *ast.GoStmt:
+			discarded[n.Call] = true
+		case *ast.DeferStmt:
+			discarded[n.Call] = true
+		case *ast.AssignStmt:
+			// Single call on the RHS: discarded iff all LHS are blank.
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			allBlank := true
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					allBlank = false
+					break
+				}
+			}
+			if allBlank {
+				discarded[call] = true
+			}
+		}
+		return true
+	})
+	return discarded
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"reservoir/internal/analysis"
+	"reservoir/internal/analysis/analysistest"
+)
+
+func TestWALOrder(t *testing.T) {
+	results := analysistest.Run(t, "testdata/src", analysis.WALOrder,
+		"service/flagged", "service/clean", "service/waived")
+
+	flagged, clean, waived := results[0], results[1], results[2]
+	if n := len(flagged.Diagnostics); n != 4 {
+		t.Errorf("flagged: want 4 diagnostics, got %d: %v", n, flagged.Diagnostics)
+	}
+	if n := len(clean.Diagnostics); n != 0 {
+		t.Errorf("clean: want 0 diagnostics, got %d: %v", n, clean.Diagnostics)
+	}
+	if n := len(waived.Waivers); n != 1 {
+		t.Errorf("waived: want 1 used waiver, got %d", n)
+	}
+	if n := len(waived.Diagnostics); n != 0 {
+		t.Errorf("waived: want 0 diagnostics, got %d: %v", n, waived.Diagnostics)
+	}
+}

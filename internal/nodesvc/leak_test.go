@@ -1,0 +1,11 @@
+package nodesvc
+
+import (
+	"testing"
+
+	"reservoir/internal/testutil"
+)
+
+// TestMain fails the suite if a node service loop (follower loop, root
+// loop, heartbeat) survives the tests; Stop/Close must tear them all down.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -246,6 +246,12 @@ func (s *Server) Run() error {
 func (s *Server) runFollower() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			// Only transport-originated panics (peer loss, poisoned
+			// mailbox, wire corruption) become an orderly error return;
+			// anything else is a real bug and must crash loudly.
+			if !transport.IsTransportPanic(r) {
+				panic(r)
+			}
 			err = fmt.Errorf("nodesvc: rank %d: %v", s.node.Rank(), r)
 		}
 	}()
@@ -342,6 +348,12 @@ func (s *Server) runRoot() error {
 func (s *Server) rootLoop(serveFailed <-chan error) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			// Same triage as runFollower: strict-mode peer death reaches
+			// this boundary as a typed transport panic and becomes an
+			// orderly shutdown; a bug in the sampler or service must not.
+			if !transport.IsTransportPanic(r) {
+				panic(r)
+			}
 			err = fmt.Errorf("nodesvc: rank 0: %v", r)
 		}
 	}()
@@ -468,6 +480,7 @@ func (s *Server) execute(cmd command) result {
 			return result{err: fmt.Errorf("encoding synthetic spec: %w", err)}
 		}
 		for i := 0; i < rounds; i++ {
+			//lint:allow walorder -- node mode is apply-then-capture by design: captureBoundary logs the *completed* round as a restorable boundary, and recovery rolls the cluster back to the newest boundary every node can restore (DESIGN.md §2.5) — cluster redundancy, not write-ahead, is the durability contract here
 			s.node.ProcessRound(src)
 			// Every completed round becomes a restorable boundary
 			// (in-memory ring and, when persistence is on, WAL record +

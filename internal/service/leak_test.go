@@ -1,0 +1,11 @@
+package service
+
+import (
+	"testing"
+
+	"reservoir/internal/testutil"
+)
+
+// TestMain fails the suite if an HTTP handler, WAL syncer, or snapshot
+// goroutine outlives the tests.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

@@ -106,7 +106,13 @@ func driveSchedule(t *testing.T, ts *httptest.Server, id string, p int, phase in
 // same round counters and stats — and to *continue* identically.
 func TestCrashRecoveryEquivalence(t *testing.T) {
 	dir := t.TempDir()
-	crashTS, _, crashStore := newPersistentServer(t, dir)
+	crashTS, crashSvc, crashStore := newPersistentServer(t, dir)
+	// The crash is simulated by abandoning this server mid-flight, which
+	// orphans its ingest workers. They must still be reaped before the
+	// binary exits (TestMain's leak guard): close the abandoned server at
+	// cleanup time — after every recovery assertion has run against the
+	// disk state the "crash" left behind.
+	t.Cleanup(crashSvc.Close)
 	twinTS, _ := newTestServer(t) // in-memory twin, never interrupted
 
 	ids := make(map[string]string) // kind -> run id (same on both servers)
@@ -251,6 +257,9 @@ func TestDeleteRemovesDiskState(t *testing.T) {
 func TestQueueFullLeavesNoDanglingWAL(t *testing.T) {
 	dir := t.TempDir()
 	ts, svc, st := newPersistentServer(t, dir)
+	// The hard stop below abandons svc without closing it; reap its worker
+	// at cleanup, after the WAL has been inspected.
+	t.Cleanup(svc.Close)
 	// Disable checkpoints so the raw WAL records stay inspectable.
 	run := createRun(t, ts, `{"kind":"cluster","p":1,"k":8,"seed":7,"queue_depth":1,"checkpoint_rounds":-1,"checkpoint_bytes":-1}`)
 	r, _ := svc.lookup(run.ID)

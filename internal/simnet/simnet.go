@@ -112,9 +112,11 @@ func (c *Cluster) Parallel(body func(pe *PE)) {
 	panics := make([]any, c.p)
 	wg.Add(c.p)
 	for i := 0; i < c.p; i++ {
+		//lint:allow determinism -- the SPMD PE launcher is the worker-owned path itself: each PE goroutine owns its sampler state exclusively and rendezvouses only through deterministic mailboxes
 		go func(pe *PE) {
 			defer wg.Done()
 			defer func() {
+				//lint:allow faultpanic -- PE panics are collected (never swallowed) and the primary is re-raised by Parallel after every PE lands; triage happens at that single re-raise point
 				if r := recover(); r != nil {
 					panics[pe.id] = r
 					// Unblock any PE waiting on us by poisoning all boxes.

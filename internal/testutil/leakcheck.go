@@ -1,0 +1,120 @@
+// Package testutil holds helpers shared by the test suites. Its main
+// export is a stdlib-only goroutine-leak guard: suites whose code spawns
+// background goroutines (the tcpnet dial/accept/recv loops, the nodesvc
+// service loops, the HTTP service) install VerifyTestMain so a test that
+// forgets to shut something down fails the whole binary instead of
+// leaking silently.
+package testutil
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyTestMain is a drop-in TestMain body:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// It runs the suite and, when all tests passed, fails the binary if any
+// non-allowlisted goroutine is still alive after a grace period (background
+// loops legitimately take a moment to observe a Close).
+func VerifyTestMain(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if err := CheckNoLeakedGoroutines(5 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "goroutine leak check failed:\n%v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// CheckNoLeakedGoroutines polls the runtime's goroutine dump until every
+// goroutine not on the allowlist has exited, or the wait elapses — in which
+// case it returns an error carrying the stacks of the stragglers.
+func CheckNoLeakedGoroutines(wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	var leaked []string
+	for {
+		leaked = leakedGoroutines()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	sort.Strings(leaked)
+	return fmt.Errorf("%d leaked goroutine(s) after waiting %v:\n\n%s",
+		len(leaked), wait, strings.Join(leaked, "\n\n"))
+}
+
+// allowedStackMarkers identify goroutines that are not leaks: the runtime's
+// and testing package's own machinery, and stdlib daemons that live for the
+// rest of the process by design.
+var allowedStackMarkers = []string{
+	"testing.(*M).Run",           // the suite driver itself
+	"testing.Main(",              // legacy driver entry
+	"testing.runTests(",          //
+	"testing.(*T).Run(",          // parent goroutines of parallel subtests
+	"runtime.goexit0",            //
+	"runtime.gc",                 // background GC workers
+	"runtime.bgsweep",            //
+	"runtime.bgscavenge",         //
+	"runtime.forcegchelper",      //
+	"runtime.ReadTrace",          //
+	"runtime/trace.Start",        //
+	"os/signal.signal_recv",      // signal delivery daemon
+	"os/signal.loop",             //
+	"runtime.ensureSigM",         //
+	"net/http.(*Server).Serve",   // httptest servers are closed by their
+	"net/http.(*persistConn).",   // owners; lingering keep-alive conns on
+	"net/http.setRequestCancel",  // the default transport are bounded and
+	"net/http/httptest.",         // reclaimed by its idle timeout.
+	"internal/poll.runtime_poll", //
+	"testutil.leakedGoroutines",  // this checker's own goroutine
+	"testutil.CheckNoLeaked",     //
+}
+
+// leakedGoroutines returns the stack of every live goroutine that matches
+// none of the allowlist markers.
+func leakedGoroutines() []string {
+	// Ask cooperating stdlib components to retire their idle goroutines
+	// before judging what is left.
+	http.DefaultClient.CloseIdleConnections()
+
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var leaked []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || !strings.HasPrefix(g, "goroutine ") {
+			continue
+		}
+		allowed := false
+		for _, marker := range allowedStackMarkers {
+			if strings.Contains(g, marker) {
+				allowed = true
+				break
+			}
+		}
+		if !allowed {
+			leaked = append(leaked, g)
+		}
+	}
+	return leaked
+}

@@ -1,0 +1,12 @@
+package tcpnet
+
+import (
+	"testing"
+
+	"reservoir/internal/testutil"
+)
+
+// TestMain fails the suite if any accept/recv/redial goroutine outlives the
+// tests: every Transport spawns background loops, and Close must reap them
+// all.
+func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }

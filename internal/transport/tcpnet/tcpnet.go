@@ -729,7 +729,10 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 			t.redialPeer(to)
 			panic(&FaultError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
 		}
-		panic(fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err))
+		// Strict mode: peer loss is unrecoverable but still a *transport*
+		// failure — typed so serving layers can convert it to an orderly
+		// shutdown while re-panicking real bugs.
+		panic(&transport.FatalError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
 	}
 	t.messages.Add(1)
 	t.words.Add(int64(words))
@@ -810,11 +813,14 @@ func (t *Transport) Recv(from, tag int) any {
 		if errors.As(err, &fe) {
 			panic(fe)
 		}
-		panic(err.Error())
+		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: err.Error()})
 	}
 	var v any
 	if err := gob.NewDecoder(bytes.NewReader(m.payload)).Decode(&v); err != nil {
-		panic(fmt.Sprintf("tcpnet: rank %d decoding message from peer %d tag %d: %v", t.rank, from, tag, err))
+		// Undecodable payload: wire corruption (or a sender bug), fatal
+		// either way, but transport-originated — typed for the serving
+		// layer's recover triage.
+		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: fmt.Sprintf("tcpnet: rank %d decoding message from peer %d tag %d: %v", t.rank, from, tag, err)})
 	}
 	return v
 }

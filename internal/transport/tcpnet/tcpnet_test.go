@@ -223,8 +223,12 @@ func TestCorruptFramePoisonsRecv(t *testing.T) {
 		if r == nil {
 			t.Fatal("Recv returned instead of panicking on a corrupt frame")
 		}
-		if !strings.Contains(r.(string), "CRC mismatch") {
-			t.Fatalf("panic = %v, want CRC mismatch", r)
+		fe, ok := r.(*transport.FatalError)
+		if !ok {
+			t.Fatalf("panic = %T (%v), want *transport.FatalError", r, r)
+		}
+		if !strings.Contains(fe.Msg, "CRC mismatch") {
+			t.Fatalf("panic = %v, want CRC mismatch", fe)
 		}
 	}()
 	tr.Recv(0, 3)

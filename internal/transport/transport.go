@@ -103,3 +103,32 @@ func AsFault(r any) (Fault, bool) {
 	f, ok := r.(Fault)
 	return f, ok
 }
+
+// FatalError is an *unrecoverable* transport failure: the mesh is closed,
+// a frame failed its CRC in strict mode, a peer died on a strict (no
+// rejoin) deployment. Transports panic with a *FatalError so the serving
+// layer can distinguish "the network is gone, shut down in an orderly
+// way" from a genuine programming bug unwinding the stack — the latter
+// must never be converted into a routine error (see IsTransportPanic).
+type FatalError struct {
+	// Rank is the local PE that observed the failure; Peer is the remote
+	// side, or -1 when the failure is not attributable to one peer.
+	Rank, Peer int
+	Msg        string
+}
+
+func (e *FatalError) Error() string { return e.Msg }
+
+// IsTransportPanic reports whether a recovered panic value originated in
+// the transport layer: a recoverable Fault or an unrecoverable
+// *FatalError. Recovery boundaries in cluster code must re-panic
+// anything else — a nil dereference in the sampler presenting as a
+// routine transport failure would silently corrupt the run instead of
+// crashing it.
+func IsTransportPanic(r any) bool {
+	if _, ok := r.(Fault); ok {
+		return true
+	}
+	_, ok := r.(*FatalError)
+	return ok
+}
