@@ -98,11 +98,20 @@ func runClusterBench(cfg config) {
 		"algo": initial.Algorithm.String(), "seed": initial.Seed,
 		"uniform": initial.Uniform, "rounds_per_point": cfg.rounds,
 	}
+	if len(cfg.scens) == 1 {
+		rep.Params["scenario"] = cfg.scens[0].Name
+	}
 
 	var lastSpec service.SyntheticSpec
 	for _, batch := range cfg.batch {
 		before := client.stats()
 		spec := service.SyntheticSpec{BatchLen: batch, Rounds: 1}
+		if len(cfg.scens) == 1 {
+			// Scenario streams derive from (seed, pe, round) like the
+			// primitive sources, so the dump still replays byte-identically
+			// under reservoir-verify -match.
+			spec.Scenario = &cfg.scens[0]
+		}
 		lastSpec = spec
 		body, _ := json.Marshal(map[string]any{"synthetic": spec})
 

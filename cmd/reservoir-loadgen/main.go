@@ -9,6 +9,7 @@
 //	reservoir-loadgen                              # in-process server, default grid
 //	reservoir-loadgen -addr http://host:8080       # external server
 //	reservoir-loadgen -clients 1,4,16 -batch 1000,10000 -mode wait
+//	reservoir-loadgen -scenario all -out BENCH_service_scenarios.json
 //	reservoir-loadgen -out BENCH_service_baseline.json
 //	reservoir-loadgen -data /tmp/rsv -fsync always # measure persistence overhead
 //
@@ -43,6 +44,7 @@ import (
 	"reservoir/internal/bench"
 	"reservoir/internal/service"
 	"reservoir/internal/store"
+	"reservoir/internal/workload/scenario"
 )
 
 type config struct {
@@ -60,6 +62,8 @@ type config struct {
 	rounds    int
 	mode      string
 	source    string
+	scenario  string
+	scens     []scenario.Spec
 	seed      uint64
 	queue     int
 	data      string
@@ -87,6 +91,7 @@ func main() {
 	flag.IntVar(&cfg.rounds, "rounds", 20, "rounds each client posts")
 	flag.StringVar(&cfg.mode, "mode", "wait", "ingest mode: wait (sync 200) or async (202 + drain)")
 	flag.StringVar(&cfg.source, "source", "synthetic", "round payload: synthetic (server-side) or explicit (JSON batches)")
+	flag.StringVar(&cfg.scenario, "scenario", "", "comma-separated workload scenario presets (or \"all\") to bench instead of the primitive uniform source; with -cluster exactly one")
 	flag.Uint64Var(&cfg.seed, "seed", 0xC0FFEE, "run seed")
 	flag.IntVar(&cfg.queue, "queue", 0, "per-run ingest queue depth (0 = server default)")
 	flag.StringVar(&cfg.data, "data", "", "persistence directory for the in-process server (empty = persistence off; ignored with -addr)")
@@ -115,6 +120,17 @@ func main() {
 	}
 	if cfg.sampleOut != "" && cfg.cluster == "" {
 		fatalf("-sample-out requires -cluster")
+	}
+	if cfg.scenario != "" {
+		if cfg.source == "explicit" {
+			fatalf("-scenario requires -source synthetic (scenarios are generated server-side)")
+		}
+		if cfg.scens, err = parseScenarios(cfg.scenario); err != nil {
+			fatalf("-scenario: %v", err)
+		}
+		if cfg.cluster != "" && len(cfg.scens) != 1 {
+			fatalf("-cluster needs exactly one -scenario (the sample dump replays one stream), got %d", len(cfg.scens))
+		}
 	}
 	if (cfg.chaos || cfg.interval > 0) && cfg.cluster == "" {
 		fatalf("-chaos and -interval require -cluster")
@@ -184,17 +200,33 @@ func main() {
 		"persistence": persistence,
 	}
 
-	for _, nClients := range cfg.clients {
-		for _, batch := range cfg.batch {
-			res := runConfig(client, base, cfg, nClients, batch)
-			name := fmt.Sprintf("clients=%d,batch=%d", nClients, batch)
-			rep.Add(name,
-				map[string]any{"clients": nClients, "batch": batch, "runs": cfg.runs, "mode": cfg.mode},
-				res)
-			fmt.Printf("%-28s %12.0f items/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  (%d reqs, %d rejected)\n",
-				name, res["throughput_items_per_s"], res["latency_p50_ms"],
-				res["latency_p95_ms"], res["latency_p99_ms"],
-				int(res["requests"]), int(res["rejected_429"]))
+	// With -scenario the grid gains an outer axis: every preset is
+	// benched at every (clients, batch) point. A nil entry keeps the
+	// legacy primitive-uniform grid when no scenarios were requested.
+	scens := []*scenario.Spec{nil}
+	if len(cfg.scens) > 0 {
+		scens = scens[:0]
+		for i := range cfg.scens {
+			scens = append(scens, &cfg.scens[i])
+		}
+		rep.Params["scenarios"] = cfg.scenario
+	}
+	for _, sc := range scens {
+		for _, nClients := range cfg.clients {
+			for _, batch := range cfg.batch {
+				res := runConfig(client, base, cfg, nClients, batch, sc)
+				name := fmt.Sprintf("clients=%d,batch=%d", nClients, batch)
+				params := map[string]any{"clients": nClients, "batch": batch, "runs": cfg.runs, "mode": cfg.mode}
+				if sc != nil {
+					name = "scenario=" + sc.Name + "," + name
+					params["scenario"] = sc.Name
+				}
+				rep.Add(name, params, res)
+				fmt.Printf("%-28s %12.0f items/s  p50 %7.2fms  p95 %7.2fms  p99 %7.2fms  (%d reqs, %d rejected)\n",
+					name, res["throughput_items_per_s"], res["latency_p50_ms"],
+					res["latency_p95_ms"], res["latency_p99_ms"],
+					int(res["requests"]), int(res["rejected_429"]))
+			}
 		}
 	}
 
@@ -204,9 +236,10 @@ func main() {
 	fmt.Printf("wrote %d results to %s\n", len(rep.Results), cfg.out)
 }
 
-// runConfig measures one (clients, batch) point: cfg.runs fresh runs, each
-// fed by nClients concurrent clients posting cfg.rounds rounds.
-func runConfig(client *http.Client, base string, cfg config, nClients, batch int) map[string]float64 {
+// runConfig measures one (clients, batch[, scenario]) point: cfg.runs
+// fresh runs, each fed by nClients concurrent clients posting cfg.rounds
+// rounds.
+func runConfig(client *http.Client, base string, cfg config, nClients, batch int, sc *scenario.Spec) map[string]float64 {
 	runIDs := make([]string, cfg.runs)
 	for i := range runIDs {
 		runIDs[i] = createRun(client, base, cfg, i)
@@ -221,6 +254,15 @@ func runConfig(client *http.Client, base string, cfg config, nClients, batch int
 	}()
 
 	body := `{"synthetic":{"batch_len":` + strconv.Itoa(batch) + `}}`
+	if sc != nil {
+		b, err := json.Marshal(map[string]any{
+			"synthetic": service.SyntheticSpec{BatchLen: batch, Scenario: sc},
+		})
+		if err != nil {
+			fatalf("encoding scenario spec: %v", err)
+		}
+		body = string(b)
+	}
 	if cfg.source == "explicit" {
 		body = explicitBody(cfg.p, batch, cfg.seed)
 	}
@@ -415,6 +457,28 @@ func parseInts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseScenarios(list string) ([]scenario.Spec, error) {
+	if list == "all" {
+		return scenario.Presets(), nil
+	}
+	var out []scenario.Spec
+	for _, part := range strings.Split(list, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		sp, ok := scenario.Preset(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+		}
+		out = append(out, sp)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty scenario list")
 	}
 	return out, nil
 }

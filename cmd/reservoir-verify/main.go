@@ -39,11 +39,41 @@ func main() {
 	jsonOut := flag.String("json", "", "also write a reservoir-bench/v1 report to this path")
 	name := flag.String("name", "verify_stats", "report name for -json")
 	match := flag.String("match", "", "verify a cluster sample dump (reservoir-loadgen -cluster -sample-out) against a simulator replay instead of running the statistical suite")
+	acceptMode := flag.Bool("accept", false, "run the scenario acceptance harness (internal/stats/accept) instead of the classic suite")
+	scenarios := flag.String("scenario", "all", "for -accept: comma-separated scenario presets, or \"all\"")
+	algos := flag.String("algos", "sequential,distributed,gather", "for -accept: comma-separated algorithms")
+	acceptTrials := flag.Int("accept-trials", 400, "for -accept: trials per (algorithm x scenario) cell")
+	rounds := flag.Int("rounds", 8, "for -accept: rounds per trial")
+	batch := flag.Int("batch", 64, "for -accept: mean items per PE per round")
+	acceptAlpha := flag.Float64("accept-alpha", 1e-3, "for -accept: family-wise significance level (Bonferroni-split across checks)")
+	acceptOut := flag.String("accept-out", "", "for -accept: write the reservoir-accept/v1 verdict report to this path")
+	mutant := flag.Bool("mutant", false, "for -accept: power check — swap in the deliberately biased sampler and require the suite to REJECT it")
 	flag.Parse()
 
 	if *match != "" {
 		if err := runMatch(*match); err != nil {
 			fmt.Fprintln(os.Stderr, "reservoir-verify: match FAILED:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *acceptMode {
+		err := runAccept(acceptOpts{
+			scenarios: *scenarios,
+			algos:     *algos,
+			trials:    *acceptTrials,
+			p:         *p,
+			k:         *k,
+			rounds:    *rounds,
+			batch:     *batch,
+			seed:      *seed,
+			alpha:     *acceptAlpha,
+			out:       *acceptOut,
+			mutant:    *mutant,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reservoir-verify: accept FAILED:", err)
 			os.Exit(1)
 		}
 		return

@@ -151,6 +151,16 @@ func (s SyntheticSpec) BuildSource(cfg RunConfig) (reservoir.Source, error) {
 	if seed == 0 {
 		seed = cfg.Seed + 0x9E3779B97F4A7C15
 	}
+	if s.Scenario != nil {
+		if s.Source != "" {
+			return nil, badRequestf("provide either source or scenario, not both")
+		}
+		src, err := s.Scenario.Source(seed, s.BatchLen)
+		if err != nil {
+			return nil, badRequestf("%v", err)
+		}
+		return src, nil
+	}
 	switch s.Source {
 	case "", "uniform":
 		lo, hi := s.Lo, s.Hi

@@ -32,6 +32,7 @@ import (
 
 	"reservoir"
 	"reservoir/internal/store"
+	"reservoir/internal/workload/scenario"
 )
 
 // Limits guarding the HTTP surface.
@@ -120,8 +121,17 @@ type IngestRequest struct {
 // paper's workload generators — the service analogue of the experiment
 // drivers, and the cheapest way to push large rounds through a run.
 type SyntheticSpec struct {
-	// Source is "uniform" (default), "skewed", or "pareto".
+	// Source is "uniform" (default), "skewed", or "pareto". Mutually
+	// exclusive with Scenario.
 	Source string `json:"source,omitempty"`
+	// Scenario selects a composed realistic workload (heavy-tailed
+	// weight laws, bursty arrivals, per-PE skew, drift — see
+	// internal/workload/scenario) instead of a primitive source.
+	// BatchLen then acts as the mean items per PE per round, modulated
+	// by the scenario's arrival process and rank skew. Streams stay
+	// deterministic in (seed, pe, round), so scenario ingest replays
+	// identically from the WAL and under reservoir-verify -match.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 	// BatchLen is the number of items per PE per round.
 	BatchLen int `json:"batch_len"`
 	// Rounds is the number of mini-batch rounds to run (default 1).

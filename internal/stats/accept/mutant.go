@@ -1,0 +1,57 @@
+package accept
+
+import (
+	"reservoir/internal/rng"
+	"reservoir/internal/workload"
+)
+
+// MutantWeighted is a deliberately mis-keyed weighted sampler: it draws
+// the key u·w (uniform times weight) instead of the Efraimidis–Spirakis
+// exponential key -ln(u)/w. Small weights then tend to produce small keys,
+// so the reservoir is biased toward LIGHT items — the classic
+// inverted-weighting bug.
+//
+// It exists to prove the acceptance harness has statistical power: the
+// suite must reject it (see TestMutantRejected and the accept-smoke CI
+// job's -mutant power check). It must never be used for sampling.
+type MutantWeighted struct {
+	k     int
+	src   rng.Source
+	keys  []float64
+	items []workload.Item
+	max   int // index of the largest key
+}
+
+// NewMutantWeighted returns the bias mutant as an accept.Sampler factory
+// argument for Config.Sequential.
+func NewMutantWeighted(k int, seed uint64) Sampler {
+	return &MutantWeighted{k: k, src: rng.NewXoshiro256(seed)}
+}
+
+// Process feeds one item, keeping the k smallest (biased) keys.
+func (m *MutantWeighted) Process(it workload.Item) {
+	key := rng.U01(m.src) * it.W // BUG (deliberate): should be -ln(u)/w
+	if len(m.keys) < m.k {
+		m.keys = append(m.keys, key)
+		m.items = append(m.items, it)
+		if key > m.keys[m.max] {
+			m.max = len(m.keys) - 1
+		}
+		return
+	}
+	if key >= m.keys[m.max] {
+		return
+	}
+	m.keys[m.max] = key
+	m.items[m.max] = it
+	for i, v := range m.keys {
+		if v > m.keys[m.max] {
+			m.max = i
+		}
+	}
+}
+
+// Sample returns the current (biased) sample.
+func (m *MutantWeighted) Sample() []workload.Item {
+	return append([]workload.Item(nil), m.items...)
+}

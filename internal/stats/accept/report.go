@@ -1,0 +1,106 @@
+package accept
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReportVersion identifies the verdict report schema.
+const ReportVersion = "reservoir-accept/v1"
+
+// Report is the machine-readable verdict of one harness run: one cell per
+// (algorithm × scenario), one check per hypothesis test, and a top-level
+// pass bit. CI archives these as artifacts so statistical drift is
+// diffable across runs, like the reservoir-bench/v1 reports.
+type Report struct {
+	Schema       string       `json:"schema"`
+	CreatedAt    string       `json:"created_at,omitempty"`
+	Alpha        float64      `json:"alpha"`
+	PerTestAlpha float64      `json:"per_test_alpha"`
+	Tests        int          `json:"tests"`
+	Params       Params       `json:"params"`
+	Cells        []CellResult `json:"cells"`
+	Pass         bool         `json:"pass"`
+}
+
+// Params records the harness configuration the verdict depends on.
+type Params struct {
+	Trials   int    `json:"trials"`
+	P        int    `json:"p"`
+	K        int    `json:"k"`
+	Rounds   int    `json:"rounds"`
+	BatchLen int    `json:"batch_len"`
+	Seed     uint64 `json:"seed"`
+}
+
+// CellResult is one (algorithm × scenario) cell.
+type CellResult struct {
+	Algorithm string  `json:"algorithm"`
+	Scenario  string  `json:"scenario"`
+	Items     int     `json:"items"`
+	TotalW    float64 `json:"total_weight"`
+	Checks    []Check `json:"checks"`
+	Pass      bool    `json:"pass"`
+}
+
+// Check is one hypothesis test inside a cell.
+type Check struct {
+	Name      string  `json:"name"`
+	Statistic float64 `json:"statistic"`
+	P         float64 `json:"p_value"`
+	Alpha     float64 `json:"alpha"`
+	Pass      bool    `json:"pass"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// Failures returns every failed check as "algorithm/scenario/check".
+func (r *Report) Failures() []string {
+	var out []string
+	for _, c := range r.Cells {
+		for _, ck := range c.Checks {
+			if !ck.Pass {
+				out = append(out, fmt.Sprintf("%s/%s/%s", c.Algorithm, c.Scenario, ck.Name))
+			}
+		}
+	}
+	return out
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Summary renders a human-readable table of every cell and check.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	for _, c := range r.Cells {
+		status := "ok"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-12s %-18s %-4s (%d items, total weight %.4g)\n",
+			c.Algorithm, c.Scenario, status, c.Items, c.TotalW)
+		for _, ck := range c.Checks {
+			mark := "ok"
+			if !ck.Pass {
+				mark = "FAIL"
+			}
+			fmt.Fprintf(&b, "  %-22s stat=%-10.4g p=%-10.4g alpha=%.3g  %-4s %s\n",
+				ck.Name, ck.Statistic, ck.P, ck.Alpha, mark, ck.Detail)
+		}
+	}
+	verdict := "ACCEPTED"
+	if !r.Pass {
+		verdict = "REJECTED"
+	}
+	fmt.Fprintf(&b, "verdict: %s (%d cells, %d tests, family-wise alpha %g)\n",
+		verdict, len(r.Cells), r.Tests, r.Alpha)
+	return b.String()
+}

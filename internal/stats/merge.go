@@ -1,0 +1,81 @@
+package stats
+
+import "fmt"
+
+// MinExpectedCount is the classical validity rule for Pearson's chi-square:
+// the asymptotic chi-square distribution of the statistic is unreliable
+// when any bin's expected count falls below ~5 — sparse tail bins then
+// dominate the statistic and the reported p-value is unstable in either
+// direction. Callers with sparse bins must merge first (MergeBins or
+// ChiSquareMerged).
+const MinExpectedCount = 5
+
+// MergeBins coalesces adjacent bins until every merged bin's expected
+// count is at least min. The same merging is applied in lockstep to every
+// column in cols (observed counts, parallel samples, ...), so column i of
+// the result still lines up with expected bin i. A deficient trailing bin
+// is folded backwards into its predecessor. The inputs are not modified.
+//
+// Adjacency-only merging is deliberate: callers order bins meaningfully
+// (by weight, by rank), and merging preserves that ordering so a bias
+// concentrated in the tail stays concentrated in the merged tail bin
+// instead of being averaged away.
+func MergeBins(expected []float64, min float64, cols ...[]float64) ([]float64, [][]float64, error) {
+	for i, c := range cols {
+		if len(c) != len(expected) {
+			return nil, nil, fmt.Errorf("stats: column %d has %d bins, expected has %d", i, len(c), len(expected))
+		}
+	}
+	mergedExp := make([]float64, 0, len(expected))
+	mergedCols := make([][]float64, len(cols))
+	for i := range mergedCols {
+		mergedCols[i] = make([]float64, 0, len(expected))
+	}
+	accExp := 0.0
+	accCols := make([]float64, len(cols))
+	flush := func() {
+		mergedExp = append(mergedExp, accExp)
+		for i := range cols {
+			mergedCols[i] = append(mergedCols[i], accCols[i])
+			accCols[i] = 0
+		}
+		accExp = 0
+	}
+	for j := range expected {
+		accExp += expected[j]
+		for i := range cols {
+			accCols[i] += cols[i][j]
+		}
+		if accExp >= min {
+			flush()
+		}
+	}
+	if accExp > 0 || len(mergedExp) == 0 {
+		// Deficient tail: fold it into the previous bin if one exists.
+		if n := len(mergedExp); n > 0 {
+			mergedExp[n-1] += accExp
+			for i := range cols {
+				mergedCols[i][n-1] += accCols[i]
+			}
+		} else {
+			flush()
+		}
+	}
+	return mergedExp, mergedCols, nil
+}
+
+// ChiSquareMerged is ChiSquare with the expected-count validity rule
+// enforced by construction: adjacent bins are merged until every expected
+// count reaches minExpected (use MinExpectedCount unless you have a
+// reason), then the ordinary test runs on the merged bins. Degrees of
+// freedom are computed from the merged bin count.
+func ChiSquareMerged(observed, expected []float64, ddof int, minExpected float64) (stat, p float64, err error) {
+	if len(observed) != len(expected) {
+		return 0, 0, fmt.Errorf("stats: observed and expected lengths differ (%d vs %d)", len(observed), len(expected))
+	}
+	exp, cols, err := MergeBins(expected, minExpected, observed)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ChiSquare(cols[0], exp, ddof)
+}

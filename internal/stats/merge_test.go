@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"reservoir/internal/rng"
+)
+
+func TestMergeBinsBasic(t *testing.T) {
+	expected := []float64{10, 2, 2, 2, 10, 1}
+	obs := []float64{9, 3, 1, 2, 11, 1}
+	exp, cols, err := MergeBins(expected, 5, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 | 2+2+2 | 10+1 (trailing 1 folds backwards).
+	wantExp := []float64{10, 6, 11}
+	wantObs := []float64{9, 6, 12}
+	if len(exp) != len(wantExp) {
+		t.Fatalf("merged into %d bins, want %d: %v", len(exp), len(wantExp), exp)
+	}
+	for i := range wantExp {
+		if exp[i] != wantExp[i] || cols[0][i] != wantObs[i] {
+			t.Fatalf("bin %d: got (exp=%g obs=%g), want (exp=%g obs=%g)",
+				i, exp[i], cols[0][i], wantExp[i], wantObs[i])
+		}
+	}
+}
+
+func TestMergeBinsPreservesTotals(t *testing.T) {
+	src := rng.NewXoshiro256(11)
+	expected := make([]float64, 200)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	var sumE, sumA, sumB float64
+	for i := range expected {
+		expected[i] = rng.U01(src) * 8
+		a[i] = float64(rng.Intn(src, 12))
+		b[i] = float64(rng.Intn(src, 12))
+		sumE += expected[i]
+		sumA += a[i]
+		sumB += b[i]
+	}
+	exp, cols, err := MergeBins(expected, MinExpectedCount, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotE, gotA, gotB float64
+	for i := range exp {
+		if exp[i] < MinExpectedCount {
+			t.Fatalf("merged bin %d has expected %g < %d", i, exp[i], MinExpectedCount)
+		}
+		gotE += exp[i]
+		gotA += cols[0][i]
+		gotB += cols[1][i]
+	}
+	if math.Abs(gotE-sumE) > 1e-9 || gotA != sumA || gotB != sumB {
+		t.Fatalf("merge changed totals: exp %g->%g, a %g->%g, b %g->%g",
+			sumE, gotE, sumA, gotA, sumB, gotB)
+	}
+}
+
+func TestMergeBinsAllDeficient(t *testing.T) {
+	// Every bin below the floor: everything collapses into one bin.
+	exp, cols, err := MergeBins([]float64{1, 1, 1}, 5, []float64{0, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp) != 1 || exp[0] != 3 || cols[0][0] != 3 {
+		t.Fatalf("want single merged bin (exp=3, obs=3), got exp=%v obs=%v", exp, cols[0])
+	}
+}
+
+func TestMergeBinsColumnLengthMismatch(t *testing.T) {
+	if _, _, err := MergeBins([]float64{5, 5}, 5, []float64{1}); err == nil {
+		t.Fatal("want error for mismatched column length")
+	}
+}
+
+func TestChiSquareMergedMatchesManualMerge(t *testing.T) {
+	expected := []float64{20, 3, 3, 20}
+	obs := []float64{18, 4, 3, 21}
+	stat, p, err := ChiSquareMerged(obs, expected, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantStat, wantP, err := ChiSquare([]float64{18, 7, 21}, []float64{20, 6, 20}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stat-wantStat) > 1e-12 || math.Abs(p-wantP) > 1e-12 {
+		t.Fatalf("merged test (stat=%g p=%g) != manual merge (stat=%g p=%g)", stat, p, wantStat, wantP)
+	}
+}
+
+func TestChiSquareMergedStabilizesSparseTail(t *testing.T) {
+	// A long sparse tail drawn from the null: the unmerged statistic is
+	// wildly anti-conservative bin-by-bin, the merged one must accept.
+	src := rng.NewXoshiro256(7)
+	const trials = 2000
+	// Geometric-ish expected counts: a few fat bins then a sparse tail.
+	expected := make([]float64, 40)
+	total := 0.0
+	for i := range expected {
+		expected[i] = trials * math.Pow(0.7, float64(i))
+		total += expected[i]
+	}
+	for i := range expected {
+		expected[i] *= trials / total
+	}
+	obs := make([]float64, len(expected))
+	for t := 0; t < trials; t++ {
+		// Sample a bin from the expected distribution.
+		u := rng.U01(src) * trials
+		acc := 0.0
+		for i := range expected {
+			acc += expected[i]
+			if u <= acc {
+				obs[i]++
+				break
+			}
+		}
+	}
+	_, p, err := ChiSquareMerged(obs, expected, 0, MinExpectedCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 1e-4 {
+		t.Fatalf("merged chi-square rejected a null sample: p=%g", p)
+	}
+}
+
+func TestKolmogorovSmirnovTwoSampleNull(t *testing.T) {
+	src := rng.NewXoshiro256(3)
+	a := make([]float64, 800)
+	b := make([]float64, 600)
+	for i := range a {
+		a[i] = rng.Exponential(src, 2)
+	}
+	for i := range b {
+		b[i] = rng.Exponential(src, 2)
+	}
+	d, p := KolmogorovSmirnovTwoSample(a, b)
+	if p < 1e-4 {
+		t.Fatalf("two-sample KS rejected identical laws: D=%g p=%g", d, p)
+	}
+}
+
+func TestKolmogorovSmirnovTwoSampleShift(t *testing.T) {
+	src := rng.NewXoshiro256(4)
+	a := make([]float64, 800)
+	b := make([]float64, 800)
+	for i := range a {
+		a[i] = rng.U01(src)
+		b[i] = rng.U01(src) + 0.2
+	}
+	if d, p := KolmogorovSmirnovTwoSample(a, b); p > 1e-6 {
+		t.Fatalf("two-sample KS missed a 0.2 shift: D=%g p=%g", d, p)
+	}
+}
+
+func TestKolmogorovSmirnovTwoSampleEmpty(t *testing.T) {
+	if d, p := KolmogorovSmirnovTwoSample(nil, []float64{1}); d != 0 || p != 1 {
+		t.Fatalf("empty sample: want (0, 1), got (%g, %g)", d, p)
+	}
+}
+
+func TestGammaCDF(t *testing.T) {
+	cases := []struct {
+		shape, rate, x, want float64
+	}{
+		{1, 1, 0, 0},
+		{1, 1, 1, 1 - math.Exp(-1)},      // Gamma(1, 1) is Exp(1)
+		{1, 2, 3, 1 - math.Exp(-6)},      // Exp(2) at 3
+		{2, 1, 2, 1 - 3*math.Exp(-2)},    // Erlang(2): 1-(1+x)e^-x
+		{0.5, 0.5, 1, 0.682689492137086}, // chi-square(1) at 1 = P(|Z|<1)
+	}
+	for _, c := range cases {
+		got := GammaCDF(c.shape, c.rate, c.x)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("GammaCDF(%g, %g, %g) = %.12f, want %.12f", c.shape, c.rate, c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalSurvival(t *testing.T) {
+	if got := NormalSurvival(0); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("NormalSurvival(0) = %g, want 0.5", got)
+	}
+	if got := NormalSurvival(1.959963984540054); math.Abs(got-0.025) > 1e-9 {
+		t.Errorf("NormalSurvival(1.96) = %g, want 0.025", got)
+	}
+	if got := NormalSurvival(-1.959963984540054); math.Abs(got-0.975) > 1e-9 {
+		t.Errorf("NormalSurvival(-1.96) = %g, want 0.975", got)
+	}
+}

@@ -106,6 +106,21 @@ func ChiSquareSurvival(stat, df float64) float64 {
 	return gammaQ(df/2, stat/2)
 }
 
+// GammaCDF returns P[X <= x] for a Gamma(shape, rate) distribution, i.e.
+// the lower regularized incomplete gamma function P(shape, rate·x). Used
+// to KS-test Gamma-bursty arrival processes against their own law.
+func GammaCDF(shape, rate, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - gammaQ(shape, rate*x)
+}
+
+// NormalSurvival returns P[Z >= z] for a standard normal Z.
+func NormalSurvival(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
 // gammaQ computes the upper regularized incomplete gamma function Q(a, x)
 // via the series (x < a+1) or continued fraction (x >= a+1) expansions
 // (Numerical Recipes, gammp/gammq).
@@ -187,13 +202,41 @@ func KolmogorovSmirnov(sample []float64, cdf func(float64) float64) (d, p float6
 			d = hi
 		}
 	}
-	return d, ksPValue(d, n)
+	return d, ksPValue(d, fn)
+}
+
+// KolmogorovSmirnovTwoSample returns the two-sample KS statistic D and the
+// asymptotic p-value for the hypothesis that a and b were drawn from the
+// same continuous distribution. Both samples are sorted in place. The
+// p-value uses the Kolmogorov asymptotic with the effective sample size
+// n·m/(n+m) and Stephens' small-sample correction.
+func KolmogorovSmirnovTwoSample(a, b []float64) (d, p float64) {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return 0, 1
+	}
+	sort.Float64s(a)
+	sort.Float64s(b)
+	var i, j int
+	for i < n && j < m {
+		if a[i] <= b[j] {
+			i++
+		} else {
+			j++
+		}
+		if diff := math.Abs(float64(i)/float64(n) - float64(j)/float64(m)); diff > d {
+			d = diff
+		}
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	return d, ksPValue(d, ne)
 }
 
 // ksPValue evaluates the asymptotic Kolmogorov distribution survival
-// function with the Stephens small-sample correction.
-func ksPValue(d float64, n int) float64 {
-	sq := math.Sqrt(float64(n))
+// function with the Stephens small-sample correction; n is the (possibly
+// fractional, for the two-sample effective size) sample size.
+func ksPValue(d float64, n float64) float64 {
+	sq := math.Sqrt(n)
 	lambda := (sq + 0.12 + 0.11/sq) * d
 	// P = 2 Σ_{k>=1} (-1)^{k-1} exp(-2 k² λ²)
 	sum := 0.0

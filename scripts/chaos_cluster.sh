@@ -15,6 +15,10 @@
 #   RESTART_DELAY  seconds a victim stays dead            (default 1.5)
 #   CYCLE_GAP      seconds between kill/restart cycles    (default 4)
 #   INTERVAL       loadgen pause between rounds           (default 250ms)
+#   SCENARIO       workload scenario preset for the ingest (default empty =
+#                  primitive uniform stream; e.g. pareto_burst runs the
+#                  kill/restart wave under heavy-tailed bursty load and the
+#                  -match replay must still be byte-identical)
 #
 # Usage: scripts/chaos_cluster.sh [p] [rounds] [batch]
 set -euo pipefail
@@ -30,6 +34,7 @@ KILL_DELAY="${KILL_DELAY:-2}"
 RESTART_DELAY="${RESTART_DELAY:-1.5}"
 CYCLE_GAP="${CYCLE_GAP:-4}"
 INTERVAL="${INTERVAL:-250ms}"
+SCENARIO="${SCENARIO:-}"
 REJOIN="${REJOIN:-60s}"
 OUT="${OUT:-BENCH_chaos.json}"
 SAMPLE_OUT="${SAMPLE_OUT:-chaos_sample.json}"
@@ -56,10 +61,16 @@ done
 
 await_control 150
 
-echo "== starting paced chaos ingest: $ROUNDS rounds of $BATCH items/PE"
+SCENARIO_ARGS=()
+if [ -n "$SCENARIO" ]; then
+  SCENARIO_ARGS=(-scenario "$SCENARIO")
+  echo "== starting paced chaos ingest: $ROUNDS rounds of ~$BATCH items/PE (scenario $SCENARIO)"
+else
+  echo "== starting paced chaos ingest: $ROUNDS rounds of $BATCH items/PE"
+fi
 /tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
   -rounds "$ROUNDS" -batch "$BATCH" -interval "$INTERVAL" \
-  -chaos -chaos-timeout 3m \
+  -chaos -chaos-timeout 3m "${SCENARIO_ARGS[@]}" \
   -name chaos -out "$OUT" -sample-out "$SAMPLE_OUT" &
 LOADGEN_PID=$!
 
