@@ -88,6 +88,7 @@ func Broadcast[T any](c *Comm, root int, val T, words int) T {
 		return val
 	}
 	transport.RegisterType[T]()
+	defer transport.FlushConn(c.Conn)
 	rel := (c.Rank() - root + p) % p
 	// Highest power of two < p bounds the sender masks.
 	top := 1
@@ -119,6 +120,7 @@ func Reduce[T any](c *Comm, root int, val T, op Op[T], words int) T {
 		return val
 	}
 	transport.RegisterType[T]()
+	defer transport.FlushConn(c.Conn)
 	rel := (c.Rank() - root + p) % p
 	top := 1
 	for top < p {
@@ -158,6 +160,7 @@ func AllReduce[T any](c *Comm, val T, op Op[T], words int) T {
 		return val
 	}
 	transport.RegisterType[T]()
+	defer transport.FlushConn(c.Conn)
 	// p2 = largest power of two <= p.
 	p2 := 1
 	for p2*2 <= p {
@@ -201,10 +204,12 @@ func Barrier(c *Comm) {
 	AllReduce(c, 0, func(a, _ int) int { return a }, 1)
 }
 
-// gatherChunk carries one PE's contribution through the gather tree. The
+// Chunk carries one PE's contribution through the gather tree. The
 // fields are exported so wire transports can encode chunks crossing
-// process boundaries.
-type gatherChunk[T any] struct {
+// process boundaries; the type itself is exported so hot instantiations
+// (e.g. chunks of sample items) can be given hand-rolled wire codecs
+// via transport.RegisterMarshaler.
+type Chunk[T any] struct {
 	Src   int
 	Items []T
 }
@@ -216,11 +221,12 @@ type gatherChunk[T any] struct {
 func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
 	tag := c.nextTag()
 	p := c.p
-	own := gatherChunk[T]{Src: c.Rank(), Items: items}
+	own := Chunk[T]{Src: c.Rank(), Items: items}
 	if p == 1 {
 		return [][]T{items}
 	}
-	transport.RegisterType[[]gatherChunk[T]]()
+	transport.RegisterType[[]Chunk[T]]()
+	defer transport.FlushConn(c.Conn)
 	rel := (c.Rank() - root + p) % p
 	top := 1
 	for top < p {
@@ -230,14 +236,14 @@ func Gather[T any](c *Comm, root int, items []T, wordsPerItem int) [][]T {
 	if rel != 0 {
 		lsb = rel & (-rel)
 	}
-	chunks := []gatherChunk[T]{own}
+	chunks := []Chunk[T]{own}
 	totalItems := len(items)
 	for m := 1; m < lsb; m <<= 1 {
 		child := rel + m
 		if child >= p {
 			break
 		}
-		cv := c.Conn.Recv((child+root)%p, tag).([]gatherChunk[T])
+		cv := c.Conn.Recv((child+root)%p, tag).([]Chunk[T])
 		for _, ch := range cv {
 			totalItems += len(ch.Items)
 		}

@@ -173,6 +173,8 @@ func (pe *DistPE) skipScanWeighted(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
 	clock := pe.comm.Conn
+	wp := grabWeights(b, n)
+	ws := *wp
 	draws := 0
 	x := rng.Exponential(pe.src, t)
 	draws++
@@ -190,8 +192,8 @@ func (pe *DistPE) skipScanWeighted(b workload.Batch) {
 				end = n
 			}
 			var sum float64
-			for i := j; i < end; i++ {
-				sum += b.At(i).W
+			for _, w := range ws[j:end] {
+				sum += w
 			}
 			if x > sum {
 				x -= sum
@@ -199,10 +201,9 @@ func (pe *DistPE) skipScanWeighted(b workload.Batch) {
 				continue
 			}
 			for ; j < end; j++ {
-				it := b.At(j)
-				x -= it.W
+				x -= ws[j]
 				if x <= 0 {
-					pe.insertBelow(it, t)
+					pe.insertBelow(b.At(j), t)
 					draws++ // the (0,T) key draw inside insertBelow
 					x = rng.Exponential(pe.src, t)
 					draws++
@@ -211,16 +212,16 @@ func (pe *DistPE) skipScanWeighted(b workload.Batch) {
 		}
 	} else {
 		for ; j < n; j++ {
-			it := b.At(j)
-			x -= it.W
+			x -= ws[j]
 			if x <= 0 {
-				pe.insertBelow(it, t)
+				pe.insertBelow(b.At(j), t)
 				draws += 2
 				x = rng.Exponential(pe.src, t)
 				draws++
 			}
 		}
 	}
+	releaseWeights(wp)
 	clock.Work(float64(n)*pe.model.ScanPerItemNS(n, pe.cfg.BlockedSkip) + float64(draws)*pe.model.RNGNS)
 }
 
@@ -308,6 +309,9 @@ func (pe *DistPE) selectAndPrune(batchLen int) {
 	seq := chargedSeq{s: distsel.TreeSeq[workload.Item]{T: pe.res}, pe: clock, m: pe.model}
 	opt := distsel.Options{
 		Pivots: pe.cfg.Pivots,
+		// The size all-reduction above already produced the global union
+		// size; hand it down so selection skips its own entry reduction.
+		KnownN: s,
 		RNG:    chargedRNG{src: pe.src, pe: clock, ns: pe.model.RNGNS},
 	}
 	var res distsel.Result
@@ -328,17 +332,13 @@ func (pe *DistPE) selectAndPrune(batchLen int) {
 	}
 	pe.timing.SelectNS += clock.Clock() - t1
 
-	// Threshold phase: Algorithm 1's final all-reduction (T := max_j t@j)
-	// plus the local split that discards items above the threshold.
+	// Threshold phase: the local split that discards items above the
+	// threshold. Algorithm 1 closes with an all-reduction T := max_j t@j
+	// over the per-PE maxima below the cut, but the exact selection above
+	// already returned that key: res.Key is an actual stored key and the
+	// global maximum at or below itself, so the reduction is pure
+	// communication with a known result and the sampler skips it.
 	t2 := clock.Clock()
-	localMax := math.Inf(-1)
-	if i := pe.res.CountLeq(res.Key); i > 0 {
-		clock.Work(pe.model.TreeOpNS(pe.res.Len()))
-		if k, _, ok := pe.res.Select(i); ok {
-			localMax = k.V
-		}
-	}
-	_ = coll.AllReduce(pe.comm, localMax, coll.MaxFloat64, 1)
 	pe.res.SplitByKey(res.Key)
 	clock.Work(pe.model.TreeOpNS(pe.res.Len()) * 2)
 	pe.thresh, pe.haveT = res.Key, true

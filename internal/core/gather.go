@@ -19,6 +19,14 @@ type keyedItem struct {
 
 const keyedItemWords = 4 // key (2 words) + weight + id
 
+// threshMsg broadcasts the root's new threshold decision each round
+// (package-scoped so wire.go can give it a hand-rolled codec).
+type threshMsg struct {
+	T    btree.Key
+	Have bool
+	Size int
+}
+
 // GatherPE is one PE of the centralized comparison algorithm (Sec 4.5):
 // PEs filter their mini-batches against the current threshold and send the
 // surviving candidates to a designated root (PE 0), which selects the k
@@ -137,12 +145,7 @@ func (pe *GatherPE) ProcessBatch(b workload.Batch) {
 
 	// Phase 4: broadcast the new threshold.
 	t3 := clock.Clock()
-	type tmsg struct {
-		T    btree.Key
-		Have bool
-		Size int
-	}
-	m := coll.Broadcast(pe.comm, 0, tmsg{T: newThresh, Have: newHave, Size: newSize}, 4)
+	m := coll.Broadcast(pe.comm, 0, threshMsg{T: newThresh, Have: newHave, Size: newSize}, 4)
 	if m.Have {
 		pe.thresh, pe.haveT = m.T, true
 	}
@@ -189,12 +192,14 @@ func (pe *GatherPE) filterWeighted(b workload.Batch) {
 	n := b.Len()
 	t := pe.thresh.V
 	clock := pe.comm.Conn
+	wp := grabWeights(b, n)
+	ws := *wp
 	draws := 1
 	x := rng.Exponential(pe.src, t)
 	for j := 0; j < n; j++ {
-		it := b.At(j)
-		x -= it.W
+		x -= ws[j]
 		if x <= 0 {
+			it := b.At(j)
 			xlo := math.Exp(-t * it.W)
 			v := -math.Log(rng.Uniform(pe.src, xlo, 1)) / it.W
 			pe.cands = append(pe.cands, keyedItem{Key: btree.Key{V: v, ID: pe.nextKeyID()}, Item: it})
@@ -202,6 +207,7 @@ func (pe *GatherPE) filterWeighted(b workload.Batch) {
 			draws += 2
 		}
 	}
+	releaseWeights(wp)
 	clock.Work(float64(n)*pe.model.ScanPerItemNS(n, pe.cfg.BlockedSkip) + float64(draws)*pe.model.RNGNS)
 }
 

@@ -96,6 +96,12 @@ type Options struct {
 	// MaxRounds bounds the sampling recursion; when exceeded, the
 	// algorithm falls back to the exact gather base case. Defaults to 60.
 	MaxRounds int
+	// KnownN, when positive, is the caller-supplied global size of the
+	// full sequence union (sum over PEs of Seq.CountLeq(MaxKey)). The
+	// sampler's selection step already holds this from its size
+	// all-reduction; passing it here skips a redundant collective at
+	// selection entry. Every PE must pass the same value (SPMD).
+	KnownN int
 	// RNG is this PE's private random source (required).
 	RNG rng.Source
 }
@@ -160,7 +166,15 @@ func selectRange(c *coll.Comm, s Seq, kLo, kHi int, lo, hi btree.Key, offset int
 	loCount := s.CountLeq(lo)
 	hiCount := s.CountLeq(hi)
 	cnt := hiCount - loCount
-	n := coll.AllReduce(c, cnt, coll.SumInt, 1)
+	// The initial call spans the whole key space, so the global active
+	// count is the union size — use the caller's value when it has one
+	// (the sampler just reduced it) instead of reducing it again.
+	var n int
+	if opt.KnownN > 0 && lo == btree.MinKey && hi == btree.MaxKey {
+		n = opt.KnownN
+	} else {
+		n = coll.AllReduce(c, cnt, coll.SumInt, 1)
+	}
 	rounds := 0
 	for {
 		tLo, tHi := kLo-offset, kHi-offset
@@ -341,7 +355,10 @@ func gatherSelect(c *coll.Comm, s Seq, loCount, cnt, tLo int) Result {
 func RandomDistKth(c *coll.Comm, s Seq, k int, opt Options) Result {
 	opt = opt.withDefaults()
 	cnt := s.Len()
-	n := coll.AllReduce(c, cnt, coll.SumInt, 1)
+	n := opt.KnownN
+	if n <= 0 {
+		n = coll.AllReduce(c, cnt, coll.SumInt, 1)
+	}
 	if k < 1 || k > n {
 		panic(fmt.Sprintf("distsel: rank %d outside 1..%d", k, n))
 	}

@@ -59,6 +59,38 @@ type command struct {
 // commandWords is the nominal cost-model size of a command broadcast.
 const commandWords = 8
 
+// The command broadcast runs once per ingest round, so it gets a wire
+// codec like the data-plane payloads instead of the gob fallback (a fresh
+// gob encoder per send recompiles type descriptors — the cost the v3 wire
+// format exists to kill). The spec travels as its JSON encoding: it is a
+// config-shaped struct with a nested scenario pointer, already JSON-tagged
+// for the HTTP API and the WAL, and a few hundred bytes at most.
+func init() {
+	transport.RegisterMarshaler(transport.WireIDCommand,
+		func(buf []byte, v command) []byte {
+			spec, err := json.Marshal(v.Spec)
+			if err != nil {
+				// SyntheticSpec is plain data (numbers, strings, a
+				// data-only scenario spec); its JSON encoding cannot fail.
+				panic(fmt.Sprintf("nodesvc: encoding command spec: %v", err))
+			}
+			buf = transport.AppendBytes(buf, []byte(v.Op))
+			return transport.AppendBytes(buf, spec)
+		},
+		func(d *transport.Dec) (command, error) {
+			var c command
+			c.Op = string(d.Bytes())
+			spec := d.Bytes()
+			if err := d.Err(); err != nil {
+				return command{}, err
+			}
+			if err := json.Unmarshal(spec, &c.Spec); err != nil {
+				return command{}, fmt.Errorf("command spec: %w", err)
+			}
+			return c, nil
+		})
+}
+
 // Per-request bounds (the node API is driven by benchmarks and operators,
 // not untrusted tenants, but a typo should not wedge the cluster).
 const (
@@ -507,12 +539,11 @@ func (s *Server) execute(cmd command) result {
 	}
 }
 
-// publishStats aggregates cluster-wide counters (two all-reductions) and,
-// on every rank, returns the updated stats; rank 0 also caches them for
-// the non-collective GET /v1/cluster/stats.
+// publishStats aggregates cluster-wide counters (one merged all-reduction)
+// and, on every rank, returns the updated stats; rank 0 also caches them
+// for the non-collective GET /v1/cluster/stats.
 func (s *Server) publishStats() Stats {
-	net := s.node.ClusterNetworkStats()
-	cnt := s.node.ClusterCounters()
+	net, cnt := s.node.ClusterStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.lastStat = s.snapshotLocked(net, cnt)

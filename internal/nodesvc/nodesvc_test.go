@@ -7,13 +7,16 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
 	"reservoir"
 	"reservoir/internal/service"
+	"reservoir/internal/transport"
 	"reservoir/internal/transport/tcpnet"
+	"reservoir/internal/workload/scenario"
 )
 
 // startCluster brings up a p-node loopback cluster and returns the root's
@@ -253,4 +256,43 @@ func TestHealthz(t *testing.T) {
 		t.Fatalf("shutdown: %s", resp.Status)
 	}
 	wait()
+}
+
+// The per-round command broadcast uses the wire fast path; its codec must
+// round-trip every spec shape — including a composed scenario, which
+// travels as JSON — and reject truncated bodies like every other format.
+func TestCommandWireRoundTrip(t *testing.T) {
+	cases := []command{
+		{},
+		{Op: opStats},
+		{Op: opRounds, Spec: service.SyntheticSpec{
+			Source: "pareto", BatchLen: 50000, Rounds: 3, Seed: 424242, Shape: 1.5,
+		}},
+		{Op: opRounds, Spec: service.SyntheticSpec{
+			BatchLen: 1000,
+			Scenario: &scenario.Spec{Name: "pareto_burst", Law: "pareto", Alpha: 1.5},
+		}},
+	}
+	for _, want := range cases {
+		enc := transport.AppendPayload(nil, want)
+		if enc[0] != 0x01 {
+			t.Fatalf("command %+v took the gob fallback", want)
+		}
+		got, err := transport.DecodePayload(enc)
+		if err != nil {
+			t.Fatalf("decode %+v: %v", want, err)
+		}
+		gc, ok := got.(command)
+		if !ok {
+			t.Fatalf("decoded %T, want command", got)
+		}
+		if gc.Op != want.Op || !reflect.DeepEqual(gc.Spec, want.Spec) {
+			t.Fatalf("round trip changed value:\n got %+v\nwant %+v", gc, want)
+		}
+		for cut := 1; cut < len(enc); cut++ {
+			if _, err := transport.DecodePayload(enc[:cut]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded", cut, len(enc))
+			}
+		}
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"reservoir/internal/store"
 )
@@ -196,7 +197,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := run.enqueue(job); err != nil {
 		var api *apiError
 		if errors.As(err, &api) && api.code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			// Derived from the run's drain rate (see retryAfterSeconds) so
+			// clients back off proportionally to the actual queue depth.
+			w.Header().Set("Retry-After", strconv.Itoa(run.retryAfterSeconds()))
 		}
 		writeError(w, err)
 		return

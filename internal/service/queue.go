@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"reservoir"
 )
@@ -224,4 +225,32 @@ func (r *Run) enqueue(job *ingestJob) error {
 				len(r.queue), cap(r.queue)),
 		}
 	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the run's
+// observed drain rate instead of a hardcoded constant: a queue slot
+// frees when the job at the head finishes, which takes about (pending
+// rounds / queued jobs) rounds at the worker's EMA round duration. The
+// hint is clamped to [1, 60] — at least a second so clients cannot
+// hot-spin on a deep queue, at most a minute so one pathological round
+// does not park them forever.
+func (r *Run) retryAfterSeconds() int {
+	ema := r.roundNS.Load()
+	if ema == 0 {
+		return 1 // no completed round yet — nothing better than the old default
+	}
+	jobs := uint64(len(r.queue)) + 1 // queued jobs plus the one in flight
+	pending := r.pending.Load()
+	if pending < 1 {
+		pending = 1
+	}
+	rounds := (uint64(pending) + jobs - 1) / jobs
+	secs := (rounds*ema + uint64(time.Second) - 1) / uint64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return int(secs)
 }

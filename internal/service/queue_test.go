@@ -140,13 +140,17 @@ func TestQueueBackpressure(t *testing.T) {
 		t.Fatalf("job 2: %d, want 202", resp.StatusCode)
 	}
 
-	// Job 3 must be rejected with explicit backpressure.
+	// Job 3 must be rejected with explicit backpressure, and the
+	// Retry-After hint must come from the run's observed drain rate: with
+	// a 3s round EMA, 2 pending rounds, and 2 jobs absorbing them
+	// (1 queued + 1 in flight), a slot should free in about one round.
+	run.roundNS.Store(uint64(3 * time.Second))
 	resp := post()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("job 3: %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Fatal("429 response has no Retry-After header")
+	if ra := resp.Header.Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After = %q, want \"3\" (one 3s round)", ra)
 	}
 
 	// Readers are not blocked by the parked ingest pipeline.
@@ -262,5 +266,46 @@ func TestQueueDepthValidation(t *testing.T) {
 	resp := createRun(t, ts, `{"k":4,"queue_depth":2}`)
 	if resp.Config.QueueDepth != 2 {
 		t.Fatalf("queue_depth not echoed: %+v", resp.Config)
+	}
+}
+
+// TestRetryAfterDerivation pins the drain-rate arithmetic behind the 429
+// Retry-After hint: (pending rounds / absorbing jobs) × round EMA,
+// rounded up to whole seconds and clamped to [1, 60].
+func TestRetryAfterDerivation(t *testing.T) {
+	svc := New()
+	t.Cleanup(func() { svc.Close() })
+	run, err := svc.createRun(RunConfig{Kind: KindCluster, P: 2, K: 4, QueueDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name    string
+		ema     time.Duration
+		pending int64
+		want    int
+	}{
+		{"no completed round yet", 0, 5, 1},
+		{"one pending round at 2s", 2 * time.Second, 1, 2},
+		{"ten pending rounds at 500ms", 500 * time.Millisecond, 10, 5},
+		{"sub-second clamps up to 1", time.Millisecond, 1, 1},
+		{"pathological round clamps to 60", 30 * time.Second, 10, 60},
+	}
+	for _, tc := range cases {
+		run.roundNS.Store(uint64(tc.ema))
+		run.pending.Store(tc.pending)
+		if got := run.retryAfterSeconds(); got != tc.want {
+			t.Errorf("%s: retryAfterSeconds() = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// A queued job shares the drain: the same backlog spread over more
+	// jobs promises a sooner slot.
+	run.roundNS.Store(uint64(4 * time.Second))
+	run.pending.Store(4)
+	run.queue <- &ingestJob{rounds: 1, done: make(chan ingestResult, 1)}
+	defer func() { <-run.queue }()
+	// 4 pending rounds / 2 jobs = 2 rounds × 4s.
+	if got := run.retryAfterSeconds(); got != 8 {
+		t.Errorf("with a queued job: retryAfterSeconds() = %d, want 8", got)
 	}
 }

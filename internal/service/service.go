@@ -247,6 +247,10 @@ type Run struct {
 	qmu     sync.Mutex
 	qclosed bool
 	pending atomic.Int64 // rounds enqueued but not yet completed
+	// roundNS is an exponentially-weighted average of recent round
+	// durations in nanoseconds — the drain-rate estimate behind 429
+	// Retry-After hints. Written only by the worker goroutine.
+	roundNS atomic.Uint64
 
 	// Worker lifecycle: ctx is canceled on run deletion or server
 	// shutdown; workerDone closes when the worker goroutine has exited.

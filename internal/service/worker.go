@@ -3,6 +3,7 @@ package service
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"reservoir"
 )
@@ -92,6 +93,7 @@ func (r *Run) process(job *ingestJob) (res ingestResult) {
 		if h := r.roundHook; h != nil {
 			h()
 		}
+		roundStart := time.Now()
 		// Write-ahead: the round's input must be durable in the WAL before
 		// it mutates the sampler. A job the queue rejected (429) never gets
 		// here, so backpressure leaves no dangling record.
@@ -108,11 +110,30 @@ func (r *Run) process(job *ingestJob) (res ingestResult) {
 		r.pending.Add(-1)
 		completed++
 		st = r.publishSnapshot()
+		// Periodic checkpoints are amortized spikes, not steady-state
+		// drain cost — keep them out of the Retry-After estimate.
+		r.observeRound(time.Since(roundStart))
 		if r.checkpointDue() {
 			r.checkpoint()
 		}
 	}
 	return ingestResult{st: st}
+}
+
+// observeRound folds one completed round's duration into the drain-rate
+// EMA behind Retry-After hints (α = 1/8: smooth enough to ignore one
+// slow round, fresh enough to track a workload shift within ~a dozen
+// rounds). Only the worker goroutine writes it.
+func (r *Run) observeRound(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	prev := r.roundNS.Load()
+	if prev == 0 {
+		r.roundNS.Store(uint64(d))
+		return
+	}
+	r.roundNS.Store(prev - prev/8 + uint64(d)/8)
 }
 
 func firstErr(errs ...error) error {

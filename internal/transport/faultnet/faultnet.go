@@ -123,6 +123,38 @@ type envelope struct {
 	Payload any
 }
 
+// The envelope's wire codec nests the wrapped payload's own encoding,
+// so fault-injected runs keep the binary fast path for hot traffic:
+// an envelope around a gather chunk costs a few header bytes, not a
+// fall-back to gob for the whole message.
+func init() {
+	transport.RegisterMarshaler(transport.WireIDEnvelope,
+		func(buf []byte, v envelope) []byte {
+			buf = transport.AppendUvarint(buf, v.Seq)
+			buf = transport.AppendBool(buf, v.Corrupt)
+			buf = transport.AppendBool(buf, v.Payload != nil)
+			if v.Payload != nil {
+				buf = transport.AppendPayload(buf, v.Payload)
+			}
+			return buf
+		},
+		func(d *transport.Dec) (envelope, error) {
+			v := envelope{Seq: d.Uvarint(), Corrupt: d.Bool()}
+			hasPayload := d.Bool()
+			if err := d.Err(); err != nil {
+				return envelope{}, err
+			}
+			if hasPayload {
+				p, err := d.Payload()
+				if err != nil {
+					return envelope{}, err
+				}
+				v.Payload = p
+			}
+			return v, nil
+		})
+}
+
 type pairTag struct{ from, tag int }
 
 // Conn wraps a transport.Conn with fault injection. Like every
@@ -271,6 +303,11 @@ func (c *Conn) Recv(from, tag int) any {
 		return env.Payload
 	}
 }
+
+// Flush implements transport.Flusher by delegating to the underlying
+// transport's send batching (fault injection itself never buffers: every
+// scheduled copy is submitted inline from Send).
+func (c *Conn) Flush() { transport.FlushConn(c.inner) }
 
 // FaultStats returns the fault counters accumulated so far.
 func (c *Conn) FaultStats() Stats { return c.stats }

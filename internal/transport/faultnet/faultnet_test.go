@@ -304,6 +304,7 @@ func TestStatsDelegation(t *testing.T) {
 			fc := faultnet.New(ts[rank], sched)
 			if rank == 0 {
 				fc.Send(1, 7, fmt.Sprintf("m%d", rank), 1)
+				fc.Flush() // tcpnet batches sends until a flush point
 			} else {
 				if got := fc.Recv(0, 7); got != "m0" {
 					panic(fmt.Sprintf("got %v", got))

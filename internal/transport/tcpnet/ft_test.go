@@ -106,13 +106,17 @@ func TestFTPeerLossInterruptsRecoverablyAndRedials(t *testing.T) {
 	}
 	ts[1].ClearFault()
 
-	// Traffic flows again in both directions.
+	// Traffic flows again in both directions. Sends are batched until a
+	// flush point, and this goroutine plays both ranks — so flush the
+	// sender explicitly where a real rank's own Recv would.
 	transport.Register(0)
 	t0b.Send(1, 2, 41, 1)
+	t0b.Flush()
 	if got := ts[1].Recv(0, 2).(int); got != 41 {
 		t.Fatalf("post-rejoin payload = %d, want 41", got)
 	}
 	ts[1].Send(0, 3, 42, 1)
+	ts[1].Flush()
 	if got := t0b.Recv(1, 3).(int); got != 42 {
 		t.Fatalf("post-rejoin payload = %d, want 42", got)
 	}
@@ -126,6 +130,7 @@ func TestFTEpochFilterDiscardsStaleTraffic(t *testing.T) {
 	// An epoch-0 message is sent, then both sides resync to epoch 1: the
 	// stale message must never be delivered, only the epoch-1 retry.
 	ts[0].Send(1, 7, "stale", 1)
+	ts[0].Flush() // batched sends only hit the socket at a flush point
 	deadline := time.Now().Add(5 * time.Second)
 	for ts[1].Pending() == 0 && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
@@ -139,6 +144,7 @@ func TestFTEpochFilterDiscardsStaleTraffic(t *testing.T) {
 	}
 	ts[0].AdvanceEpoch(1)
 	ts[0].Send(1, 7, "fresh", 1)
+	ts[0].Flush()
 	if got := ts[1].Recv(0, 7).(string); got != "fresh" {
 		t.Fatalf("payload = %q, want the epoch-1 retry", got)
 	}
@@ -187,6 +193,7 @@ func TestFTCtrlChannelInterruptsAndDelivers(t *testing.T) {
 		t.Fatalf("ctrl message = %v from %d", payload, from)
 	}
 	ts[0].Send(1, 10, "data", 1)
+	ts[0].Flush() // this goroutine plays both ranks; flush for the sender
 	if got := ts[1].Recv(0, 10).(string); got != "data" {
 		t.Fatalf("post-ctrl payload = %q", got)
 	}

@@ -32,20 +32,37 @@
 // reassembled by the receiver, so message size is bounded only by a 1 GiB
 // memory backstop, not by the framing.
 //
-// (all little-endian). The payload is the gob encoding of the message
-// value as an interface, so any type registered via transport.Register
-// round-trips; the collectives register their payload types themselves.
-// Each frame is a self-contained gob stream (its own type descriptors):
-// that costs some bytes per message versus a persistent per-connection
-// encoder, but it is what allows Recv to decode lazily in (peer, tag)
-// match order — a stream-stateful encoding would force decoding in
-// arrival order, before the receiving rank has necessarily entered the
-// collective that registers the payload type.
-// Gob encodes float64 bit patterns and integers exactly, which is what
-// makes a tcpnet sampling run produce byte-identical samples to a simnet
-// run with the same seed. The CRC guards against corrupt or misframed
-// streams: a mismatch poisons the transport rather than delivering a
-// mangled payload to the sampler.
+// (all little-endian). The payload is the transport wire codec's output
+// (see internal/transport's wire.go and DESIGN.md §2.4): a one-byte
+// discriminator selecting either a registered hand-rolled binary codec
+// for the hot payload types (gather chunks, key/item vectors, reduce
+// accumulators) or, for everything else, the gob encoding of the value
+// as an interface — so any type registered via transport.Register still
+// round-trips and cold control-plane traffic needs no codec work. Each
+// payload is self-contained (gob bodies carry their own type
+// descriptors): that costs some bytes per gob message versus a
+// persistent per-connection encoder, but it is what allows Recv to
+// decode lazily in (peer, tag) match order — a stream-stateful encoding
+// would force decoding in arrival order, before the receiving rank has
+// necessarily entered the collective that registers the payload type.
+// Both codec paths encode float64 bit patterns and integers exactly,
+// which is what makes a tcpnet sampling run produce byte-identical
+// samples to a simnet run with the same seed. The CRC guards against
+// corrupt or misframed streams: a mismatch poisons the transport rather
+// than delivering a mangled payload to the sampler.
+//
+// # Send batching
+//
+// Send buffers frames on the per-peer link instead of flushing each
+// message to the socket: a collective that issues many small sends to
+// one peer (a gather of chunks, a run of reduce steps) reaches the wire
+// as a handful of large writes. Two rules make this deadlock-free in
+// SPMD lockstep code: Recv flushes every buffered link before blocking
+// (a rank can never wait on a peer while holding traffic that peer
+// needs), and the collectives flush at operation exit via
+// transport.FlushConn (so a rank leaving its last collective — e.g. the
+// shutdown broadcast — leaves nothing stranded in a buffer). Control
+// frames (SendCtrl) flush immediately.
 //
 // # Semantics
 //
@@ -84,10 +101,8 @@ package tcpnet
 
 import (
 	"bufio"
-	"bytes"
 	"crypto/rand"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -103,7 +118,7 @@ import (
 
 const (
 	handshakeMagic  = 0x52535654 // "RSVT"
-	protocolVersion = 2          // v2: epoch frame word, two-way handshake with incarnation
+	protocolVersion = 3          // v3: wire-codec payload discriminator (v2: epoch frame word, two-way handshake with incarnation)
 	handshakeLen    = 21
 	frameHeaderLen  = 20
 	// maxFramePayload bounds one frame; larger messages are fragmented
@@ -114,9 +129,14 @@ const (
 	// (set on the length header word; lengths stay below 1<<26).
 	fragFlag = uint32(1) << 31
 	// maxMessageBytes bounds one reassembled message — a memory backstop,
-	// far above anything the samplers send.
-	maxMessageBytes  = 1 << 30
+	// far above anything the samplers send. The encoder enforces the same
+	// cap during encoding (transport.AppendPayload).
+	maxMessageBytes  = transport.MaxPayloadBytes
 	defaultFormation = 60 * time.Second
+	// linkWriteBuffer sizes each outbound link's write buffer. Batched
+	// small sends coalesce up to this many bytes into one syscall before
+	// bufio spills; collective exits flush the remainder.
+	linkWriteBuffer = 64 << 10
 
 	// CtrlTag is the reserved tag of control-plane frames (recovery
 	// handshakes). It is far outside the collective layer's sequential
@@ -195,16 +215,21 @@ type Transport struct {
 	messages atomic.Int64
 	words    atomic.Int64
 	bytes    atomic.Int64
+	// dirtyLinks counts links holding buffered unflushed frames — the
+	// Flush fast path exits without touching any link mutex when zero.
+	dirtyLinks atomic.Int32
 
 	closeOnce sync.Once
 	closed    chan struct{}
 }
 
-// link is one outbound (send-only) connection.
+// link is one outbound (send-only) connection. dirty marks buffered
+// frames awaiting a flush (see the package comment's batching rules).
 type link struct {
-	mu   sync.Mutex
-	conn net.Conn
-	w    *bufio.Writer
+	mu    sync.Mutex
+	conn  net.Conn
+	w     *bufio.Writer
+	dirty bool
 }
 
 // Dial forms this node's side of the cluster: it starts listening, opens a
@@ -414,10 +439,18 @@ func (t *Transport) dialOnce(peer int, addr string) (net.Conn, uint64, error) {
 func (t *Transport) installLink(peer int, conn net.Conn, incar uint64) {
 	t.mu.Lock()
 	old := t.out[peer]
-	t.out[peer] = &link{conn: conn, w: bufio.NewWriter(conn)}
+	t.out[peer] = &link{conn: conn, w: bufio.NewWriterSize(conn, linkWriteBuffer)}
 	t.outIncar[peer] = incar
 	t.mu.Unlock()
 	if old != nil {
+		// The replaced link's buffered frames die with it (the peer's old
+		// incarnation is gone; fault-tolerant resync re-runs the round).
+		old.mu.Lock()
+		if old.dirty {
+			old.dirty = false
+			t.dirtyLinks.Add(-1)
+		}
+		old.mu.Unlock()
 		old.conn.Close()
 	}
 }
@@ -647,7 +680,8 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d framed %d-byte payload (max %d)", t.rank, from, n, maxFramePayload))
 			return
 		}
-		payload := make([]byte, n)
+		buf := grabBuf(int(n)) // recycled by the consumer after decode
+		payload := *buf
 		if _, err := io.ReadFull(r, payload); err != nil {
 			t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: reading %d-byte payload from peer %d: %w", t.rank, n, from, err))
 			return
@@ -658,6 +692,8 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 		}
 		if frag || partial != nil {
 			partial = append(partial, payload...)
+			releaseBuf(buf)
+			buf = nil
 			if len(partial) > maxMessageBytes {
 				t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d message exceeds %d-byte cap", t.rank, from, maxMessageBytes))
 				return
@@ -668,10 +704,10 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			payload, partial = partial, nil
 		}
 		if tag == CtrlTag {
-			t.box.putCtrl(ctrlMsg{from: from, payload: payload})
+			t.box.putCtrl(ctrlMsg{from: from, payload: payload, buf: buf})
 			continue
 		}
-		t.box.put(inMsg{from: from, tag: tag, epoch: epoch, payload: payload})
+		t.box.put(inMsg{from: from, tag: tag, epoch: epoch, payload: payload, buf: buf})
 	}
 }
 
@@ -710,11 +746,13 @@ func (t *Transport) ID() int { return t.rank }
 // P implements transport.Conn.
 func (t *Transport) P() int { return t.p }
 
-// Send implements transport.Conn: gob-encode the payload and write one
-// framed message on the directed link to `to`. In fault-tolerant mode a
-// write failure panics with a recoverable *FaultError (and starts a
-// redial); in strict mode any failure is a fatal programming/deployment
-// error.
+// Send implements transport.Conn: encode the payload (wire codec fast
+// path, gob fallback — see transport.AppendPayload) and buffer one
+// framed message on the directed link to `to`; the frames reach the
+// socket at the next flush point (Recv, collective exit, or the write
+// buffer spilling). In fault-tolerant mode a write failure panics with
+// a recoverable *FaultError (and starts a redial); in strict mode any
+// failure is a fatal programming/deployment error.
 func (t *Transport) Send(to, tag int, payload any, words int) {
 	if words < 1 {
 		words = 1
@@ -722,38 +760,50 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 	if to == t.rank {
 		panic("tcpnet: send to self")
 	}
-	body := t.encode(to, tag, payload)
-	if err := t.writeMessage(to, tag, words, body); err != nil {
-		if t.rejoin > 0 {
-			t.box.markDown(to, err)
-			t.redialPeer(to)
-			panic(&FaultError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
-		}
-		// Strict mode: peer loss is unrecoverable but still a *transport*
-		// failure — typed so serving layers can convert it to an orderly
-		// shutdown while re-panicking real bugs.
-		panic(&transport.FatalError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
+	buf := grabBuf(0)
+	*buf = transport.AppendPayload((*buf)[:0], payload)
+	body := *buf
+	// Bodies at or above the link's write buffer go straight through it
+	// anyway; flush eagerly so only small sends ride the batching path
+	// (a fragmented gather must never strand its tail in the buffer).
+	if err := t.writeMessage(to, tag, words, body, len(body) >= linkWriteBuffer); err != nil {
+		t.sendFailed(to, err)
 	}
+	releaseBuf(buf)
 	t.messages.Add(1)
 	t.words.Add(int64(words))
-	t.bytes.Add(int64(len(body)))
+	t.bytes.Add(framedBytes(body))
 }
 
-// encode gob-encodes one payload as an interface value.
-func (t *Transport) encode(to, tag int, payload any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&payload); err != nil {
-		panic(fmt.Sprintf("tcpnet: rank %d encoding message for peer %d tag %d: %v", t.rank, to, tag, err))
+// sendFailed turns a write error into the mode-appropriate panic.
+func (t *Transport) sendFailed(to int, err error) {
+	if t.rejoin > 0 {
+		t.box.markDown(to, err)
+		t.redialPeer(to)
+		panic(&FaultError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
 	}
-	body := buf.Bytes()
-	if len(body) > maxMessageBytes {
-		panic(fmt.Sprintf("tcpnet: rank %d: message for peer %d tag %d encodes to %d bytes, above the %d-byte message cap", t.rank, to, tag, len(body), maxMessageBytes))
-	}
-	return body
+	// Strict mode: peer loss is unrecoverable but still a *transport*
+	// failure — typed so serving layers can convert it to an orderly
+	// shutdown while re-panicking real bugs.
+	panic(&transport.FatalError{Rank: t.rank, Peer: to, Msg: fmt.Sprintf("tcpnet: rank %d sending to peer %d: %v", t.rank, to, err)})
 }
 
-// writeMessage frames and writes one message on the current link to `to`.
-func (t *Transport) writeMessage(to, tag, words int, body []byte) error {
+// framedBytes is the on-the-wire size of one message body: the payload
+// plus one frame header (length, tag, words, epoch, CRC) per fragment —
+// what the Stats byte counter records (satellite of the codec work: the
+// old counter omitted framing overhead entirely).
+func framedBytes(body []byte) int64 {
+	frames := (len(body) + maxFramePayload - 1) / maxFramePayload
+	if frames == 0 {
+		frames = 1 // empty bodies still cost one frame
+	}
+	return int64(len(body)) + int64(frames)*frameHeaderLen
+}
+
+// writeMessage frames and buffers one message on the current link to
+// `to`, flushing to the socket only when flush is set (control frames)
+// or the link's write buffer spills.
+func (t *Transport) writeMessage(to, tag, words int, body []byte, flush bool) error {
 	t.mu.Lock()
 	l := t.out[to]
 	t.mu.Unlock()
@@ -766,7 +816,48 @@ func (t *Transport) writeMessage(to, tag, words int, body []byte) error {
 	if err := writeFrames(l.w, tag, words, epoch, body); err != nil {
 		return err
 	}
-	return l.w.Flush()
+	if flush {
+		if l.dirty {
+			l.dirty = false
+			t.dirtyLinks.Add(-1)
+		}
+		return l.w.Flush()
+	}
+	if !l.dirty {
+		l.dirty = true
+		t.dirtyLinks.Add(1)
+	}
+	return nil
+}
+
+// Flush implements transport.Flusher: write out every buffered frame on
+// every link. Recv calls it before blocking and the collectives call it
+// (via transport.FlushConn) at operation exit; see the package comment
+// for why those two points make batching deadlock-free. A flush failure
+// is a send failure and panics accordingly.
+func (t *Transport) Flush() {
+	if t.dirtyLinks.Load() == 0 {
+		return
+	}
+	for peer := 0; peer < t.p; peer++ {
+		t.mu.Lock()
+		l := t.out[peer]
+		t.mu.Unlock()
+		if l == nil {
+			continue
+		}
+		var err error
+		l.mu.Lock()
+		if l.dirty {
+			l.dirty = false
+			t.dirtyLinks.Add(-1)
+			err = l.w.Flush()
+		}
+		l.mu.Unlock()
+		if err != nil {
+			t.sendFailed(peer, err)
+		}
+	}
 }
 
 // writeFrames writes one message as one frame, or — above the per-frame
@@ -807,6 +898,7 @@ func writeFrames(w io.Writer, tag, words int, epoch uint32, body []byte) error {
 // simulator's treatment of protocol violations as programming errors; in
 // fault-tolerant mode recoverable faults panic with a *FaultError.
 func (t *Transport) Recv(from, tag int) any {
+	t.Flush() // never block holding traffic a peer may be waiting on
 	m, err := t.box.get(from, tag)
 	if err != nil {
 		var fe *FaultError
@@ -815,13 +907,14 @@ func (t *Transport) Recv(from, tag int) any {
 		}
 		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: err.Error()})
 	}
-	var v any
-	if err := gob.NewDecoder(bytes.NewReader(m.payload)).Decode(&v); err != nil {
+	v, derr := transport.DecodePayload(m.payload)
+	if derr != nil {
 		// Undecodable payload: wire corruption (or a sender bug), fatal
 		// either way, but transport-originated — typed for the serving
 		// layer's recover triage.
-		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: fmt.Sprintf("tcpnet: rank %d decoding message from peer %d tag %d: %v", t.rank, from, tag, err)})
+		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: fmt.Sprintf("tcpnet: rank %d decoding message from peer %d tag %d: %v", t.rank, from, tag, derr)})
 	}
+	releaseBuf(m.buf) // decoders copy out; the frame buffer is free again
 	return v
 }
 
@@ -890,18 +983,24 @@ func (t *Transport) SendCtrl(to int, payload any, deadline time.Time) error {
 	if to == t.rank {
 		return fmt.Errorf("tcpnet: ctrl send to self")
 	}
-	body := t.encode(to, CtrlTag, payload)
+	buf := grabBuf(0)
+	defer releaseBuf(buf)
+	*buf = transport.AppendPayload((*buf)[:0], payload)
+	body := *buf
 	for {
 		select {
 		case <-t.closed:
 			return fmt.Errorf("tcpnet: rank %d: transport closed", t.rank)
 		default:
 		}
-		err := t.writeMessage(to, CtrlTag, 1, body)
+		// Control frames flush immediately: the recovery protocol must
+		// make progress while the data plane (and its flush points) is
+		// suspended.
+		err := t.writeMessage(to, CtrlTag, 1, body, true)
 		if err == nil {
 			t.messages.Add(1)
 			t.words.Add(1)
-			t.bytes.Add(int64(len(body)))
+			t.bytes.Add(framedBytes(body))
 			return nil
 		}
 		t.redialPeer(to)
@@ -919,10 +1018,11 @@ func (t *Transport) RecvCtrl(deadline time.Time) (from int, payload any, err err
 	if err != nil {
 		return 0, nil, err
 	}
-	var v any
-	if err := gob.NewDecoder(bytes.NewReader(m.payload)).Decode(&v); err != nil {
+	v, err := transport.DecodePayload(m.payload)
+	if err != nil {
 		return 0, nil, fmt.Errorf("tcpnet: rank %d decoding ctrl message from peer %d: %w", t.rank, m.from, err)
 	}
+	releaseBuf(m.buf)
 	return m.from, v, nil
 }
 
@@ -958,17 +1058,48 @@ func (t *Transport) Addr() net.Addr {
 	return t.ln.Addr()
 }
 
+// --- buffer pool -----------------------------------------------------------
+
+// bufPool recycles encode buffers and inbound frame payload buffers.
+// Encode buffers live for one Send; frame buffers travel through the
+// mailbox as inMsg.buf and come back after the consumer decodes (every
+// decoder copies the bytes out, so recycling cannot alias a delivered
+// payload). Reassembled fragment runs and epoch-discarded messages are
+// simply dropped for GC — pooling is a fast path, not an obligation.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// grabBuf returns a pooled buffer of length n (growing it as needed).
+func grabBuf(n int) *[]byte {
+	buf := bufPool.Get().(*[]byte)
+	if cap(*buf) < n {
+		*buf = make([]byte, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	return buf
+}
+
+// releaseBuf returns a buffer to the pool; nil is a no-op (buffers that
+// left the pooled path, e.g. reassembled fragments).
+func releaseBuf(buf *[]byte) {
+	if buf != nil {
+		bufPool.Put(buf)
+	}
+}
+
 // --- mailbox ---------------------------------------------------------------
 
 type inMsg struct {
 	from, tag int
 	epoch     uint32
 	payload   []byte
+	buf       *[]byte // pool token; nil when payload is not poolable
 }
 
 type ctrlMsg struct {
 	from    int
 	payload []byte
+	buf     *[]byte
 }
 
 // mailbox is the (sender, tag)-matching receive queue, the wire analogue
@@ -1013,6 +1144,7 @@ func (b *mailbox) put(m inMsg) {
 	b.mu.Lock()
 	if b.ft && m.epoch < b.epoch {
 		b.mu.Unlock() // stale traffic of a failed, already-resynced round
+		releaseBuf(m.buf)
 		return
 	}
 	b.queue = append(b.queue, m)
@@ -1127,6 +1259,8 @@ func (b *mailbox) advanceEpoch(e uint32) {
 		for _, m := range b.queue {
 			if m.epoch >= e {
 				kept = append(kept, m)
+			} else {
+				releaseBuf(m.buf)
 			}
 		}
 		b.queue = kept

@@ -38,10 +38,12 @@ func TestPointToPoint(t *testing.T) {
 		defer wg.Done()
 		ts[0].Send(1, 7, 42, 1)
 		ts[0].Send(2, 7, "hello", 1)
+		ts[0].Flush() // a rank that stops without receiving must flush
 	}()
 	go func() {
 		defer wg.Done()
 		ts[2].Send(1, 9, []float64{1.5, -0.25}, 2)
+		ts[2].Flush()
 	}()
 	if got := ts[1].Recv(0, 7).(int); got != 42 {
 		t.Fatalf("int payload = %d, want 42", got)
@@ -81,6 +83,7 @@ func TestTagMatchingOutOfOrder(t *testing.T) {
 	for tag := 1; tag <= 3; tag++ {
 		ts[0].Send(1, tag, tag*100, 1)
 	}
+	ts[0].Flush() // batched sends reach the socket at flush points only
 	for tag := 3; tag >= 1; tag-- {
 		if got := ts[1].Recv(0, tag).(int); got != tag*100 {
 			t.Fatalf("tag %d payload = %d, want %d", tag, got, tag*100)
@@ -137,6 +140,7 @@ func TestDialRetryWhileListenerComesUpLate(t *testing.T) {
 	for _, tr := range ts {
 		if tr.ID() == 0 {
 			tr.Send(1, 1, 7, 1)
+			tr.Flush()
 		}
 	}
 	for _, tr := range ts {
@@ -264,6 +268,7 @@ func TestOversizedMessageFragmentsAndReassembles(t *testing.T) {
 	// state fully reset).
 	transport.Register(0)
 	ts[0].Send(1, 6, 99, 1)
+	ts[0].Flush()
 	if got := ts[1].Recv(0, 6).(int); got != 99 {
 		t.Fatalf("post-fragment message = %d, want 99", got)
 	}

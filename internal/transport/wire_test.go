@@ -1,0 +1,286 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// builtinValues covers every codec this package registers, including the
+// adversarial float values the equivalence suite cares about (exponential
+// keys produce denormals, and simnet/tcpnet parity demands bit-exact
+// round-trips even for NaN payloads and negative zero).
+func builtinValues() []any {
+	return []any{
+		int(0), int(1), int(-1), int(math.MaxInt64), int(math.MinInt64),
+		float64(0), math.Copysign(0, -1), 1.5, -2.625e-300,
+		math.Inf(1), math.Inf(-1), math.Float64frombits(0x7ff8dead_beef0001),
+		[]int{}, []int{0}, []int{1, -2, 3, math.MaxInt64, math.MinInt64},
+	}
+}
+
+// wireEqual compares decoded values bit-exactly: reflect.DeepEqual treats
+// NaN != NaN, which is precisely the case the codec must preserve.
+func wireEqual(a, b any) bool {
+	af, aok := a.(float64)
+	bf, bok := b.(float64)
+	if aok && bok {
+		return math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// gobAgrees is the looser equality for cross-checking against the gob
+// fallback, which legally erases two representation details the wire
+// codec keeps: a nil slice decodes as empty, and gob's zero-field
+// omission turns negative zero into positive zero. Values that differ
+// only in those ways still count as agreeing.
+func gobAgrees(a, b any) bool {
+	av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+	if av.Kind() != bv.Kind() {
+		return false
+	}
+	switch av.Kind() {
+	case reflect.Float64:
+		fa, fb := av.Float(), bv.Float()
+		return fa == fb || math.Float64bits(fa) == math.Float64bits(fb)
+	case reflect.Slice:
+		if av.Len() != bv.Len() {
+			return false
+		}
+		for i := 0; i < av.Len(); i++ {
+			if !gobAgrees(av.Index(i).Interface(), bv.Index(i).Interface()) {
+				return false
+			}
+		}
+		return true
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestBuiltinRoundTrip(t *testing.T) {
+	for _, v := range builtinValues() {
+		body := AppendPayload(nil, v)
+		if body[0] != payloadWire {
+			t.Fatalf("%T %v: expected the wire fast path, got discriminator 0x%02x", v, v, body[0])
+		}
+		got, err := DecodePayload(body)
+		if err != nil {
+			t.Fatalf("%T %v: decode: %v", v, v, err)
+		}
+		if !wireEqual(got, v) {
+			t.Fatalf("%T round trip: sent %v, got %v", v, v, got)
+		}
+	}
+}
+
+// TestWireMatchesGob is the cross-codec property test: the hand-rolled
+// binary path and the gob fallback must decode to identical values for
+// the same payload, so switching a type onto the fast path can never
+// change what a receiver observes.
+func TestWireMatchesGob(t *testing.T) {
+	for _, v := range builtinValues() {
+		Register(v) // the gob path needs the concrete type mapped
+		fromWire, err := DecodePayload(AppendPayload(nil, v))
+		if err != nil {
+			t.Fatalf("%T: wire decode: %v", v, err)
+		}
+		// Hand-build the gob-fallback body for the same value: the 0x00
+		// discriminator followed by a gob stream of the interface value.
+		var gb bytes.Buffer
+		gb.WriteByte(payloadGob)
+		if err := gob.NewEncoder(&gb).Encode(&v); err != nil {
+			t.Fatalf("%T: gob encode: %v", v, err)
+		}
+		fromGob, err := DecodePayload(gb.Bytes())
+		if err != nil {
+			t.Fatalf("%T: gob decode: %v", v, err)
+		}
+		if !gobAgrees(fromWire, fromGob) {
+			t.Fatalf("%T: wire path decoded %v, gob path decoded %v", v, fromWire, fromGob)
+		}
+	}
+}
+
+// Unregistered types must keep flowing through the gob fallback.
+type coldControlMsg struct {
+	Name  string
+	Ranks []int
+}
+
+func TestGobFallbackRoundTrip(t *testing.T) {
+	gob.Register(coldControlMsg{})
+	v := coldControlMsg{Name: "rebalance", Ranks: []int{3, 1, 4}}
+	body := AppendPayload(nil, v)
+	if body[0] != payloadGob {
+		t.Fatalf("unregistered type should use the gob fallback, got discriminator 0x%02x", body[0])
+	}
+	got, err := DecodePayload(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip: sent %+v, got %+v", v, got)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	for _, v := range builtinValues() {
+		body := AppendPayload(nil, v)
+		if _, err := DecodePayload(append(body, 0x00)); err == nil {
+			t.Fatalf("%T: trailing byte accepted", v)
+		}
+	}
+}
+
+// Every strict prefix of a valid body must fail cleanly — no panic, no
+// partial value.
+func TestTruncationRejected(t *testing.T) {
+	for _, v := range builtinValues() {
+		body := AppendPayload(nil, v)
+		for n := 0; n < len(body); n++ {
+			if _, err := DecodePayload(body[:n]); err == nil {
+				// A prefix of a varint-coded slice can itself be a valid
+				// shorter value only if it consumes every byte; Close
+				// rejects everything else. A clean decode of a strict
+				// prefix would mean the format is not self-delimiting.
+				t.Fatalf("%T: %d-byte prefix of a %d-byte body decoded cleanly", v, n, len(body))
+			}
+		}
+	}
+}
+
+// A length-lying header must be rejected before the decoder sizes an
+// allocation from it: 10 bytes cannot claim a billion elements.
+func TestLengthLyingHeaderRejected(t *testing.T) {
+	body := []byte{payloadWire, WireIDIntSlice}
+	body = AppendUvarint(body, 1<<40) // claims ~10^12 elements, carries none
+	_, err := DecodePayload(body)
+	if err == nil {
+		t.Fatal("length-lying []int header accepted")
+	}
+	if !strings.Contains(err.Error(), "slice length") {
+		t.Fatalf("expected a slice-length error, got: %v", err)
+	}
+	// And the rejection itself must be cheap: no speculative make() of
+	// the claimed size. A handful of allocations covers the error values.
+	allocs := testing.AllocsPerRun(20, func() {
+		_, _ = DecodePayload(body)
+	})
+	if allocs > 8 {
+		t.Fatalf("rejecting a length-lying header cost %.0f allocations", allocs)
+	}
+}
+
+func TestMalformedEnvelopes(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"unknown discriminator", []byte{0xAB, 1, 2, 3}},
+		{"wire missing ID", []byte{payloadWire}},
+		{"unknown wire ID", []byte{payloadWire, 0xEE, 1, 2}},
+		{"gob garbage", []byte{payloadGob, 0xFF, 0x00, 0x13}},
+	}
+	for _, tc := range cases {
+		if _, err := DecodePayload(tc.body); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDecStrictBool(t *testing.T) {
+	d := NewDec([]byte{2})
+	d.Bool()
+	if d.Err() == nil {
+		t.Fatal("byte 2 accepted as a bool")
+	}
+}
+
+func TestDecCloseRejectsTrailing(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	if d.U8() != 1 {
+		t.Fatal("U8 misread")
+	}
+	if err := d.Close(); err == nil {
+		t.Fatal("Close accepted an unread byte")
+	}
+}
+
+// The gob fallback must abort while encoding once the cap is crossed,
+// not after materializing the oversized buffer.
+func TestCappedAppenderFailsFast(t *testing.T) {
+	var buf []byte
+	w := cappedAppender{buf: &buf, limit: 64}
+	big := strings.Repeat("x", 1<<16)
+	if err := gob.NewEncoder(&w).Encode(&big); err == nil {
+		t.Fatal("64-byte cap did not reject a 64KiB payload")
+	}
+	if len(buf) > 64 {
+		t.Fatalf("cap breached: buffer grew to %d bytes", len(buf))
+	}
+}
+
+// Registration collisions are wiring bugs and must fail loudly at init.
+func TestRegisterCollisionPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	// Panics fire before the registry mutates, so these probes leave the
+	// real codec table untouched.
+	mustPanic("duplicate ID", func() {
+		RegisterMarshaler(WireIDInt,
+			func(buf []byte, v uint16) []byte { return buf },
+			func(d *Dec) (uint16, error) { return 0, nil })
+	})
+	mustPanic("duplicate type", func() {
+		RegisterMarshaler(0xFE,
+			func(buf []byte, v float64) []byte { return buf },
+			func(d *Dec) (float64, error) { return 0, nil })
+	})
+}
+
+// Byte strings decode into copies (frame buffers are pooled), validate
+// their length against bytes present, and reject truncation.
+func TestDecBytes(t *testing.T) {
+	src := []byte("control-plane spec")
+	enc := AppendBytes(AppendBytes(nil, src), nil)
+	d := NewDec(enc)
+	got := d.Bytes()
+	if string(got) != string(src) {
+		t.Fatalf("round trip: got %q want %q", got, src)
+	}
+	if empty := d.Bytes(); len(empty) != 0 || d.Err() != nil {
+		t.Fatalf("empty string: got %q err %v", empty, d.Err())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Mutating the decode buffer must not reach the returned copy.
+	enc[1] ^= 0xFF
+	if string(got) != string(src) {
+		t.Fatal("Bytes aliased the decode buffer")
+	}
+	// A length claiming more bytes than remain fails before allocation.
+	lying := AppendUvarint(nil, 1<<40)
+	d = NewDec(lying)
+	if d.Bytes(); d.Err() == nil {
+		t.Fatal("length-lying byte string decoded")
+	}
+	for cut := 1; cut < len(AppendBytes(nil, src)); cut++ {
+		d := NewDec(AppendBytes(nil, src)[:cut])
+		if d.Bytes(); d.Err() == nil && d.Close() == nil {
+			t.Fatalf("truncation to %d bytes decoded", cut)
+		}
+	}
+}

@@ -50,6 +50,11 @@ type SynthBatch struct {
 	N      int
 	IDBase uint64
 	W      func(i uint64) float64
+	// WBulk, when non-nil, must fill dst[j] = W(base+j) for all j in one
+	// call. FillWeights prefers it: a closure call per item costs about
+	// twice what the generator math does, and the skip scans read every
+	// weight of every batch.
+	WBulk func(base uint64, dst []float64)
 }
 
 // Len returns the number of items.
@@ -60,6 +65,33 @@ func (b *SynthBatch) At(i int) Item {
 	return Item{W: b.W(uint64(i)), ID: b.IDBase + uint64(i)}
 }
 
+// FillWeights copies the weights of items [0, len(dst)) into dst. The skip
+// scans spend most of their time reading weights; going through Batch.At
+// costs an interface dispatch (and for SynthBatch an Item construction)
+// per item, so the hot paths materialize weights into a flat slice once
+// via this helper, which devirtualizes the known batch kinds.
+func FillWeights(b Batch, dst []float64) {
+	switch bb := b.(type) {
+	case *SynthBatch:
+		if bb.WBulk != nil {
+			bb.WBulk(0, dst)
+			return
+		}
+		w := bb.W
+		for i := range dst {
+			dst[i] = w(uint64(i))
+		}
+	case SliceBatch:
+		for i := range dst {
+			dst[i] = bb[i].W
+		}
+	default:
+		for i := range dst {
+			dst[i] = b.At(i).W
+		}
+	}
+}
+
 // --- weight distributions -------------------------------------------------
 
 // UniformWeight returns a weight function drawing from (lo, hi] using the
@@ -68,6 +100,19 @@ func UniformWeight(seed uint64, lo, hi float64) func(i uint64) float64 {
 	c := rng.Counter{Seed: seed}
 	return func(i uint64) float64 {
 		return lo + c.U01At(i)*(hi-lo)
+	}
+}
+
+// UniformWeightBulk is the block-fill form of UniformWeight (same seed →
+// identical values): the counter generator inlines into the fill loop,
+// roughly halving the per-item cost of materializing a batch's weights.
+func UniformWeightBulk(seed uint64, lo, hi float64) func(base uint64, dst []float64) {
+	c := rng.Counter{Seed: seed}
+	scale := hi - lo
+	return func(base uint64, dst []float64) {
+		for j := range dst {
+			dst[j] = lo + c.U01At(base+uint64(j))*scale
+		}
 	}
 }
 
@@ -126,10 +171,12 @@ type UniformSource struct {
 
 // NextBatch implements Source.
 func (s UniformSource) NextBatch(pe, round int) Batch {
+	seed := batchSeed(s.Seed, pe, round)
 	return &SynthBatch{
 		N:      s.BatchLen,
 		IDBase: idBase(pe, round),
-		W:      UniformWeight(batchSeed(s.Seed, pe, round), s.Lo, s.Hi),
+		W:      UniformWeight(seed, s.Lo, s.Hi),
+		WBulk:  UniformWeightBulk(seed, s.Lo, s.Hi),
 	}
 }
 

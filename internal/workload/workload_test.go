@@ -161,3 +161,24 @@ func TestMaterialize(t *testing.T) {
 		}
 	}
 }
+
+// FillWeights must agree exactly with Batch.At for every batch kind — the
+// skip scans read weights through it while inserts still go through At,
+// and any divergence would silently corrupt the sample.
+func TestFillWeightsMatchesAt(t *testing.T) {
+	batches := map[string]Batch{
+		"slice": SliceBatch{{W: 1.5, ID: 1}, {W: -0.0, ID: 2}, {W: 3, ID: 3}},
+		"uniform-bulk": UniformSource{Seed: 7, BatchLen: 1000, Lo: 0, Hi: 100}.
+			NextBatch(2, 5),
+		"synth-no-bulk": &SynthBatch{N: 500, W: UniformWeight(9, 1, 2)},
+	}
+	for name, b := range batches {
+		dst := make([]float64, b.Len())
+		FillWeights(b, dst)
+		for i := range dst {
+			if got, want := dst[i], b.At(i).W; math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s: weight %d = %v via FillWeights, %v via At", name, i, got, want)
+			}
+		}
+	}
+}

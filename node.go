@@ -141,6 +141,30 @@ func (n *Node) ClusterCounters() Counters {
 	}, 6)
 }
 
+// clusterStats carries both stat families through one all-reduction so a
+// stats round costs log p latency terms once, not twice. It crosses the
+// wire per round, so it gets a codec (WireIDClusterStats, wire.go).
+type clusterStats struct {
+	Net NetworkStats
+	Ops Counters
+}
+
+// ClusterStats sums every node's traffic and operation counters with a
+// single all-reduction and returns both totals on every node (SPMD). It
+// is equivalent to ClusterNetworkStats + ClusterCounters at half the
+// round-trip count; the per-round stats publication uses it.
+func (n *Node) ClusterStats() (NetworkStats, Counters) {
+	local := clusterStats{Net: n.NetworkStats(), Ops: n.sampler.Counters()}
+	total := coll.AllReduce(n.comm, local, func(a, b clusterStats) clusterStats {
+		a.Net.Messages += b.Net.Messages
+		a.Net.Words += b.Net.Words
+		a.Net.Bytes += b.Net.Bytes
+		a.Ops.Add(b.Ops)
+		return a
+	}, 9)
+	return total.Net, total.Ops
+}
+
 // Seen returns the global number of items processed so far, as known by
 // this node (no communication).
 func (n *Node) Seen() int64 { return n.sampler.Seen() }

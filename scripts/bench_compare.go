@@ -8,6 +8,15 @@
 //	    -metric throughput_items_per_s -max-regression 0.30 \
 //	    BENCH_service_baseline.json BENCH_service_smoke.json
 //
+// For cost metrics where growth is the regression (allocation counts,
+// latencies), pass -lower-better; CI gates allocs_per_round this way so
+// an accidental per-message allocation on the hot path fails the build
+// even when raw throughput noise hides it:
+//
+//	go run scripts/bench_compare.go \
+//	    -metric allocs_per_round -lower-better -max-regression 0.30 \
+//	    BENCH_service_baseline.json BENCH_service_smoke.json
+//
 // Only result names appearing in BOTH reports are compared (a smoke run
 // covers a subset of the baseline grid), and at least one overlapping
 // result is required — a gate that silently compares nothing would rot.
@@ -48,8 +57,9 @@ func load(path string) (*report, error) {
 }
 
 func main() {
-	metric := flag.String("metric", "throughput_items_per_s", "metric to gate on (higher is better)")
+	metric := flag.String("metric", "throughput_items_per_s", "metric to gate on")
 	maxReg := flag.Float64("max-regression", 0.30, "maximum allowed fractional regression, e.g. 0.30 = -30%")
+	lowerBetter := flag.Bool("lower-better", false, "gate a cost metric: regression means the value grew (allocs, latency)")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: bench_compare [flags] baseline.json new.json")
@@ -85,8 +95,12 @@ func main() {
 		}
 		compared++
 		change := got/want - 1
+		regressed := change < -*maxReg
+		if *lowerBetter {
+			regressed = change > *maxReg
+		}
 		status := "ok"
-		if change < -*maxReg {
+		if regressed {
 			status = "REGRESSION"
 			failed++
 		}

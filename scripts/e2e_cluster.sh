@@ -42,12 +42,21 @@ curl -s "http://127.0.0.1:$CONTROL_PORT/healthz"
 echo
 
 echo "== driving $ROUNDS rounds of $BATCH items/PE"
-/tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
-  -rounds "$ROUNDS" -batch "$BATCH" \
-  -name distributed -out "$OUT" -sample-out "$SAMPLE_OUT"
+if [[ "$BATCH" == *,* ]]; then
+  # Batch grid (e.g. "5000,20000,50000"): loadgen refuses -sample-out for
+  # multi-point runs because the dump replays one stream. Bench the grid
+  # here; run the script again with a single batch for the verify step.
+  /tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
+    -rounds "$ROUNDS" -batch "$BATCH" \
+    -name distributed -out "$OUT"
+else
+  /tmp/reservoir-loadgen -cluster "http://127.0.0.1:$CONTROL_PORT" \
+    -rounds "$ROUNDS" -batch "$BATCH" \
+    -name distributed -out "$OUT" -sample-out "$SAMPLE_OUT"
 
-echo "== verifying the merged sample against a simulator replay"
-/tmp/reservoir-verify -match "$SAMPLE_OUT"
+  echo "== verifying the merged sample against a simulator replay"
+  /tmp/reservoir-verify -match "$SAMPLE_OUT"
+fi
 
 echo "== shutting the cluster down"
 curl -sf -X POST "http://127.0.0.1:$CONTROL_PORT/v1/cluster/shutdown"

@@ -1,0 +1,53 @@
+package reservoir
+
+import "reservoir/internal/transport"
+
+// NetworkStats crosses the wire once per round (ClusterNetworkStats'
+// all-reduction), so it gets a wire codec like the rest of the hot
+// round traffic; see internal/transport/wire.go for the ID table and
+// DESIGN.md §2.4 for the format.
+func init() {
+	transport.RegisterMarshaler(transport.WireIDNetworkStats,
+		func(buf []byte, v NetworkStats) []byte {
+			buf = transport.AppendVarint(buf, v.Messages)
+			buf = transport.AppendVarint(buf, v.Words)
+			return transport.AppendVarint(buf, v.Bytes)
+		},
+		func(d *transport.Dec) (NetworkStats, error) {
+			return NetworkStats{
+				Messages: d.Varint(),
+				Words:    d.Varint(),
+				Bytes:    d.Varint(),
+			}, d.Err()
+		})
+
+	transport.RegisterMarshaler(transport.WireIDClusterStats,
+		func(buf []byte, v clusterStats) []byte {
+			buf = transport.AppendVarint(buf, v.Net.Messages)
+			buf = transport.AppendVarint(buf, v.Net.Words)
+			buf = transport.AppendVarint(buf, v.Net.Bytes)
+			buf = transport.AppendVarint(buf, v.Ops.ItemsProcessed)
+			buf = transport.AppendVarint(buf, v.Ops.Inserted)
+			buf = transport.AppendVarint(buf, v.Ops.CandidateWords)
+			buf = transport.AppendVarint(buf, v.Ops.Selections)
+			buf = transport.AppendVarint(buf, v.Ops.SelectionRounds)
+			return transport.AppendVarint(buf, v.Ops.GatheredSelections)
+		},
+		func(d *transport.Dec) (clusterStats, error) {
+			return clusterStats{
+				Net: NetworkStats{
+					Messages: d.Varint(),
+					Words:    d.Varint(),
+					Bytes:    d.Varint(),
+				},
+				Ops: Counters{
+					ItemsProcessed:     d.Varint(),
+					Inserted:           d.Varint(),
+					CandidateWords:     d.Varint(),
+					Selections:         d.Varint(),
+					SelectionRounds:    d.Varint(),
+					GatheredSelections: d.Varint(),
+				},
+			}, d.Err()
+		})
+}
