@@ -199,6 +199,7 @@ func (c *Cluster) Sample() []Item {
 // live cluster (e.g. the serving layer's per-run ingest worker) must
 // serialize it with the rounds themselves.
 func (c *Cluster) SampleSnapshot() []Item {
+	c.drainPending()
 	n := 0
 	locals := make([][]Item, c.p)
 	for i, s := range c.samplers {
@@ -210,6 +211,22 @@ func (c *Cluster) SampleSnapshot() []Item {
 		out = append(out, l...)
 	}
 	return out
+}
+
+// drainPending completes a pipelined round still awaiting its deferred
+// selection collectives (Config.Pipeline), so observers only ever see
+// committed round boundaries. Draining early is stream-neutral (DESIGN.md
+// §2.6); it does run the selection's collectives, so it charges virtual
+// time and traffic like the round itself would have. All PEs defer in
+// lockstep, so checking PE 0 decides for the cluster.
+func (c *Cluster) drainPending() {
+	pe0, ok := c.samplers[0].(*core.DistPE)
+	if !ok || !pe0.Pending() {
+		return
+	}
+	c.sim.Parallel(func(pe *simnet.PE) {
+		c.samplers[pe.ID()].(*core.DistPE).FinishPending()
+	})
 }
 
 // SampleSize returns the current global sample size.
@@ -287,6 +304,8 @@ func (c *Cluster) Snapshot() ([]byte, error) {
 	if c.p > maxSnapshotPEs {
 		return nil, fmt.Errorf("reservoir: snapshots support at most %d PEs, cluster has %d", maxSnapshotPEs, c.p)
 	}
+	// Snapshots are round boundaries: complete a pipelined round first.
+	c.drainPending()
 	var buf []byte
 	var head [8]byte
 	putU64 := func(v uint64) {

@@ -59,9 +59,18 @@ func (c *clusterClient) do(what string, req func() (*http.Response, error)) []by
 	}
 }
 
-func (c *clusterClient) stats() nodesvc.Stats {
+// stats fetches the cluster stats snapshot. With refresh, the root runs a
+// collective stats command first: it drains any selection still pending
+// from a defer_stats round and re-aggregates counters across all PEs, so
+// the result reflects every posted round (the cached snapshot can lag
+// when rounds defer their stats publication).
+func (c *clusterClient) stats(refresh bool) nodesvc.Stats {
+	url := c.base + "/v1/cluster/stats"
+	if refresh {
+		url += "?refresh=1"
+	}
 	data := c.do("cluster stats", func() (*http.Response, error) {
-		return c.hc.Get(c.base + "/v1/cluster/stats")
+		return c.hc.Get(url)
 	})
 	var st nodesvc.Stats
 	if err := json.Unmarshal(data, &st); err != nil {
@@ -79,7 +88,7 @@ func runClusterBench(cfg config) {
 	}
 	base := cfg.cluster
 
-	initial := client.stats()
+	initial := client.stats(false)
 	fmt.Printf("reservoir-loadgen: cluster at %s: p=%d k=%d algo=%s seed=%d rounds=%d\n",
 		base, initial.P, initial.K, initial.Algorithm, initial.Seed, initial.Rounds)
 	if cfg.sampleOut != "" {
@@ -97,6 +106,7 @@ func runClusterBench(cfg config) {
 		"mode": "cluster", "p": initial.P, "k": initial.K,
 		"algo": initial.Algorithm.String(), "seed": initial.Seed,
 		"uniform": initial.Uniform, "rounds_per_point": cfg.rounds,
+		"shards": initial.Shards, "pipeline": initial.Pipeline,
 	}
 	if len(cfg.scens) == 1 {
 		rep.Params["scenario"] = cfg.scens[0].Name
@@ -104,7 +114,7 @@ func runClusterBench(cfg config) {
 
 	var lastSpec service.SyntheticSpec
 	for _, batch := range cfg.batch {
-		before := client.stats()
+		before := client.stats(true)
 		spec := service.SyntheticSpec{BatchLen: batch, Rounds: 1}
 		if len(cfg.scens) == 1 {
 			// Scenario streams derive from (seed, pe, round) like the
@@ -113,7 +123,12 @@ func runClusterBench(cfg config) {
 			spec.Scenario = &cfg.scens[0]
 		}
 		lastSpec = spec
-		body, _ := json.Marshal(map[string]any{"synthetic": spec})
+		// defer_stats keeps the pipeline full across HTTP requests: each
+		// round's selection collective stays in flight while the next
+		// request's broadcast and scan proceed, instead of being drained
+		// for a per-round stats AllReduce nobody reads. The refreshed
+		// stats calls around the loop recover the counters collectively.
+		body, _ := json.Marshal(map[string]any{"synthetic": spec, "defer_stats": true})
 
 		durs := make([]time.Duration, 0, cfg.rounds)
 		start := time.Now()
@@ -123,12 +138,15 @@ func runClusterBench(cfg config) {
 				return client.hc.Post(base+"/v1/cluster/rounds", "application/json", bytes.NewReader(body))
 			})
 			durs = append(durs, time.Since(t0))
+			if os.Getenv("LOADGEN_TRACE") != "" {
+				fmt.Printf("round %3d  %8.2fms\n", r, time.Since(t0).Seconds()*1e3)
+			}
 			if cfg.interval > 0 {
 				time.Sleep(cfg.interval)
 			}
 		}
 		elapsed := time.Since(start)
-		after := client.stats()
+		after := client.stats(true)
 
 		rounds := after.Rounds - before.Rounds
 		items := after.ItemsProcessed - before.ItemsProcessed
@@ -144,6 +162,22 @@ func runClusterBench(cfg config) {
 			"words_per_round":        perRoundF(after.Network.Words-before.Network.Words, rounds),
 			"selection_rounds":       float64(after.SelectionRounds - before.SelectionRounds),
 		}
+		// Per-phase breakdown (summed across all PEs; zero on pre-sharded
+		// clusters that don't track phases). round_overlap_pct is the
+		// fraction of round wall time where the scan ran concurrently with
+		// the previous round's selection collectives — the direct measure
+		// of how much pipelining is actually hiding.
+		scanNS := after.ScanNS - before.ScanNS
+		roundNS := after.RoundNS - before.RoundNS
+		if items > 0 {
+			m["scan_ns_per_item"] = float64(scanNS) / float64(items)
+		}
+		if roundNS > 0 {
+			m["round_overlap_pct"] = 100 * float64(after.OverlapNS-before.OverlapNS) / float64(roundNS)
+		}
+		m["scan_us_per_round"] = perRoundF(scanNS, rounds) / 1e3
+		m["coll_us_per_round"] = perRoundF(after.CollNS-before.CollNS, rounds) / 1e3
+		m["flush_us_per_round"] = perRoundF(after.FlushNS-before.FlushNS, rounds) / 1e3
 		bench.Summarize(durs).Metrics("latency", m)
 		name := fmt.Sprintf("batch=%d", batch)
 		rep.Add(name, map[string]any{"batch": batch, "rounds": cfg.rounds}, m)
@@ -164,7 +198,7 @@ func runClusterBench(cfg config) {
 // writeSampleDump captures the cluster's merged sample plus everything a
 // replay needs into one self-describing file.
 func writeSampleDump(client *clusterClient, base, path string, spec service.SyntheticSpec) {
-	st := client.stats()
+	st := client.stats(true) // refresh: the final round may have deferred its stats
 	data := client.do("fetching sample", func() (*http.Response, error) {
 		return client.hc.Get(base + "/v1/cluster/sample")
 	})
@@ -177,6 +211,8 @@ func writeSampleDump(client *clusterClient, base, path string, spec service.Synt
 		K:         st.K,
 		Algorithm: st.Algorithm,
 		Uniform:   st.Uniform,
+		Shards:    st.Shards,
+		Pipeline:  st.Pipeline,
 		Seed:      st.Seed,
 		Rounds:    st.Rounds,
 		Synthetic: spec,

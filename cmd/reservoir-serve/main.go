@@ -55,6 +55,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof: profiling endpoints on their own listener
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +68,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (service and node mode; empty = off)")
 	quiet := flag.Bool("quiet", false, "disable run lifecycle logging")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	queue := flag.Int("queue", 0, "default per-run ingest queue depth (0 = built-in default)")
@@ -81,6 +83,8 @@ func main() {
 	nodeSeed := flag.Uint64("seed", 1, "node mode: run seed (identical on all nodes)")
 	nodeAlgo := flag.String("algo", "ours", "node mode: sampling algorithm, ours or gather (identical on all nodes)")
 	nodeUniform := flag.Bool("uniform", false, "node mode: uniform (unweighted) sampling (identical on all nodes)")
+	nodeShards := flag.Int("shards", 0, "node mode: fixed logical scan-shard count, part of the sampling stream's identity (identical on all nodes; 0 = legacy single-stream scan)")
+	nodePipeline := flag.Bool("pipeline", false, "node mode: overlap each round's scan with the previous round's selection collectives (implies -shards >= 1; identical on all nodes)")
 	formation := flag.Duration("formation-timeout", 60*time.Second, "node mode: cluster formation deadline")
 	rejoin := flag.Duration("rejoin-timeout", 0, "node mode: tolerate node crash-restarts within this window (0 = strict reliable-PE semantics)")
 	faultSeed := flag.Uint64("fault-seed", 1, "node mode: deterministic fault-injection schedule seed")
@@ -94,6 +98,18 @@ func main() {
 	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+
+	if *pprofAddr != "" {
+		// net/http/pprof registers its handlers on http.DefaultServeMux;
+		// serve that mux on its own listener so profiling never shares a
+		// port (or an auth story) with the service or control API.
+		go func() {
+			logf("pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				logf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	if *peers != "" {
@@ -123,6 +139,8 @@ func main() {
 			seed:       *nodeSeed,
 			algo:       *nodeAlgo,
 			uniform:    *nodeUniform,
+			shards:     *nodeShards,
+			pipeline:   *nodePipeline,
 			formation:  *formation,
 			rejoin:     *rejoin,
 			data:       *data,

@@ -25,6 +25,8 @@ type nodeConfig struct {
 	seed       uint64
 	algo       string
 	uniform    bool
+	shards     int
+	pipeline   bool
 	formation  time.Duration
 	rejoin     time.Duration
 	data       string
@@ -128,8 +130,11 @@ func runNode(cfg nodeConfig) {
 	}
 
 	srv, err := nodesvc.New(nodesvc.Options{
-		Conn:      conn,
-		Config:    reservoir.Config{K: cfg.k, Weighted: !cfg.uniform, Seed: cfg.seed},
+		Conn: conn,
+		Config: reservoir.Config{
+			K: cfg.k, Weighted: !cfg.uniform, Seed: cfg.seed,
+			Shards: cfg.shards, Pipeline: cfg.pipeline,
+		},
 		Algorithm: algo,
 		Addr:      cfg.addr,
 		Store:     st,

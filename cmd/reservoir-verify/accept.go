@@ -18,6 +18,7 @@ type acceptOpts struct {
 	k         int
 	rounds    int
 	batch     int
+	shards    int
 	seed      uint64
 	alpha     float64
 	out       string // verdict report path ("" = stdout only)
@@ -40,6 +41,7 @@ func runAccept(o acceptOpts) error {
 		K:          o.k,
 		Rounds:     o.rounds,
 		BatchLen:   o.batch,
+		Shards:     o.shards,
 		Seed:       o.seed,
 		Alpha:      o.alpha,
 	}

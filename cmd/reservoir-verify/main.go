@@ -45,6 +45,7 @@ func main() {
 	acceptTrials := flag.Int("accept-trials", 400, "for -accept: trials per (algorithm x scenario) cell")
 	rounds := flag.Int("rounds", 8, "for -accept: rounds per trial")
 	batch := flag.Int("batch", 64, "for -accept: mean items per PE per round")
+	shards := flag.Int("shards", 0, "for -accept: logical scan-shard count for the cluster algorithms (0 = legacy single-stream scan)")
 	acceptAlpha := flag.Float64("accept-alpha", 1e-3, "for -accept: family-wise significance level (Bonferroni-split across checks)")
 	acceptOut := flag.String("accept-out", "", "for -accept: write the reservoir-accept/v1 verdict report to this path")
 	mutant := flag.Bool("mutant", false, "for -accept: power check — swap in the deliberately biased sampler and require the suite to REJECT it")
@@ -67,6 +68,7 @@ func main() {
 			k:         *k,
 			rounds:    *rounds,
 			batch:     *batch,
+			shards:    *shards,
 			seed:      *seed,
 			alpha:     *acceptAlpha,
 			out:       *acceptOut,

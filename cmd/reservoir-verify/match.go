@@ -30,7 +30,15 @@ func runMatch(path string) error {
 		return fmt.Errorf("%s: implausible dump (p=%d k=%d rounds=%d)", path, dump.P, dump.K, dump.Rounds)
 	}
 
-	cfg := reservoir.Config{K: dump.K, Weighted: !dump.Uniform, Seed: dump.Seed}
+	// Shards and Pipeline are part of the sampling stream's identity (the
+	// shard count decides which RNG substream draws which variate), so the
+	// replay must run with the dump's values; the simulator's sequential
+	// phase order then reproduces the pipelined cluster byte-for-byte
+	// (DESIGN.md §2.6).
+	cfg := reservoir.Config{
+		K: dump.K, Weighted: !dump.Uniform, Seed: dump.Seed,
+		Shards: dump.Shards, Pipeline: dump.Pipeline,
+	}
 	cl, err := reservoir.NewCluster(dump.P, cfg, reservoir.WithAlgorithm(dump.Algorithm))
 	if err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 // decisions given the same seed.
 var deterministicScope = []string{
 	"core", "coll", "distsel", "rng", "workload", "quickselect", "btree", "simnet",
+	"parscan",
 }
 
 // wallClockFuncs are the package-level time functions that read the wall

@@ -37,8 +37,10 @@ var GobWire = &Analyzer{
 func runGobWire(pass *Pass) error {
 	conn := lookupTransportConn(pass.Pkg)
 
-	// Named types this package gob-registers (via transport.Register,
-	// transport.RegisterType, or encoding/gob.Register directly).
+	// Named types this package registers for the wire (via
+	// transport.Register, transport.RegisterType, encoding/gob.Register,
+	// or a transport.RegisterMarshaler wire codec — a codec-registered
+	// type needs no gob registration, the fast path decodes it).
 	registered := findRegisteredTypes(pass)
 
 	for _, file := range pass.Files {
@@ -172,8 +174,9 @@ func checkRegistered(pass *Pass, pos token.Pos, t types.Type, registered map[str
 }
 
 // findRegisteredTypes scans the package for transport.Register /
-// transport.RegisterType / gob.Register calls and returns the names of
-// the named types they mention.
+// transport.RegisterType / transport.RegisterMarshaler / gob.Register
+// calls and returns the names of the named types they mention (for
+// RegisterMarshaler, the codec's type argument).
 func findRegisteredTypes(pass *Pass) map[string]bool {
 	registered := make(map[string]bool)
 	for _, file := range pass.Files {
@@ -186,7 +189,7 @@ func findRegisteredTypes(pass *Pass) map[string]bool {
 			if fn == nil {
 				return true
 			}
-			isReg := (fn.Name() == "Register" || fn.Name() == "RegisterType") &&
+			isReg := (fn.Name() == "Register" || fn.Name() == "RegisterType" || fn.Name() == "RegisterMarshaler") &&
 				(hasSegment(pkgPathOf(fn), "transport") || pkgPathOf(fn) == "encoding/gob")
 			if !isReg {
 				return true

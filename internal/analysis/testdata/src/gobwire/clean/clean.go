@@ -19,6 +19,18 @@ type rec struct {
 
 func init() { transport.Register(rec{}) }
 
+// coded has a hand-rolled wire codec instead of a gob registration —
+// RegisterMarshaler must satisfy the analyzer too.
+type coded struct {
+	Round uint64
+}
+
+func init() {
+	transport.RegisterMarshaler(9,
+		func(buf []byte, v coded) []byte { return buf },
+		func(d *transport.Dec) (coded, error) { return coded{}, nil })
+}
+
 // Exchange sends registered, fully exported payloads.
 func Exchange(c transport.Conn, comm *coll.Comm) {
 	tag := comm.NextTag()
@@ -28,4 +40,5 @@ func Exchange(c transport.Conn, comm *coll.Comm) {
 	coll.Broadcast(comm, 0, rec{}, 1)
 	coll.Gather(comm, 0, []float64{1}, 1)
 	c.Send(1, tag, "plain string payloads need no registration", 1)
+	c.Send(1, tag, coded{Round: 1}, 1)
 }

@@ -49,3 +49,11 @@ func Register(v any) {}
 
 // RegisterType registers T for wire encoding.
 func RegisterType[T any]() {}
+
+// Dec is a stand-in for the wire decode cursor.
+type Dec struct{}
+
+// RegisterMarshaler registers a hand-rolled wire codec for T; a
+// codec-registered type needs no separate gob registration.
+func RegisterMarshaler[T any](id uint8, enc func(buf []byte, v T) []byte, dec func(d *Dec) (T, error)) {
+}

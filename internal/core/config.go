@@ -98,6 +98,21 @@ type Config struct {
 	BlockedSkip bool
 	// TreeDegree overrides the local reservoir B+ tree degree (0 = default).
 	TreeDegree int
+	// Shards is the fixed logical shard count of the distributed
+	// sampler's batch scan. 0 keeps the legacy single-stream scan
+	// (byte-identical to earlier releases); >= 1 cuts every batch into
+	// Shards contiguous chunks, each scanned with its own
+	// domain-separated RNG substream, merged deterministically in index
+	// order — the sampling stream then depends on Shards but not on
+	// GOMAXPROCS, so simulator and cluster agree at any core count.
+	Shards int
+	// Pipeline defers each round's selection collectives into the next
+	// round so a node can overlap them with the next batch's scan. The
+	// scan uses the last committed threshold, which is
+	// conservative-correct: a stale threshold only admits extra
+	// candidates that the merge filters out (DESIGN.md §2.6). Implies
+	// Shards >= 1. Only the distributed sampler honors it.
+	Pipeline bool
 	// Seed drives all randomness; per-PE streams are derived from it.
 	Seed uint64
 	// Model holds the virtual-time cost model; zero value means
@@ -131,8 +146,19 @@ func (c Config) validate() (Config, error) {
 	if c.Model == (costmodel.Model{}) {
 		c.Model = costmodel.Default()
 	}
+	if c.Pipeline && c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards < 0 || c.Shards > maxShards {
+		return c, fmt.Errorf("core: Shards must be in [0, %d], got %d", maxShards, c.Shards)
+	}
 	return c, nil
 }
+
+// maxShards bounds the logical shard count: shards are a determinism
+// domain, not a thread count, and hundreds of per-shard RNG streams per
+// PE would only bloat snapshots.
+const maxShards = 256
 
 // Timing is the per-phase virtual-time breakdown of one PE, matching the
 // running time composition of the paper's Figure 6.

@@ -69,6 +69,19 @@ type DistPE struct {
 	seen    int64  // global number of items seen (all PEs agree)
 	timing  Timing
 	counter Counters
+
+	// Sharded/pipelined scan state (Config.Shards >= 1; DESIGN.md §2.6).
+	// shardSrc holds the per-shard scan streams; scanThresh is the
+	// threshold the next StartScan uses, fixed at the previous
+	// CommitScan; pendingSel marks a round whose selection collectives
+	// were deferred (Config.Pipeline) and not yet drained.
+	shardSrc   []*rng.Xoshiro256
+	scanThresh float64
+	scanHaveT  bool
+	pendingSel bool
+	pendingLen int
+	scanBufs   [2]*ScanBuf
+	scanBufIdx int
 }
 
 var _ Sampler = (*DistPE)(nil)
@@ -84,13 +97,20 @@ func NewDistPE(comm *coll.Comm, cfg Config) (*DistPE, error) {
 	if degree == 0 {
 		degree = btree.DefaultDegree
 	}
-	return &DistPE{
+	pe := &DistPE{
 		cfg:   cfg,
 		comm:  comm,
 		model: cfg.Model,
 		src:   rng.NewXoshiro256(rng.Mix64(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(comm.Rank()+1)))),
 		res:   btree.NewWithDegree[workload.Item](degree),
-	}, nil
+	}
+	if cfg.Shards > 0 {
+		pe.shardSrc = make([]*rng.Xoshiro256, cfg.Shards)
+		for s := range pe.shardSrc {
+			pe.shardSrc[s] = rng.NewXoshiro256(shardStreamSeed(cfg.Seed, comm.Rank(), s))
+		}
+	}
+	return pe, nil
 }
 
 // nextKeyID returns a cluster-unique tie-break ID for a new key.
@@ -104,8 +124,19 @@ func (pe *DistPE) weightedKey(w float64) float64 {
 	return rng.Exponential(pe.src, w)
 }
 
-// ProcessBatch implements Sampler.
+// ProcessBatch implements Sampler. With Config.Shards >= 1 it runs the
+// sharded round sequence — StartScan, FinishPending, CommitScan — in
+// order; a node driver may instead call the three phases itself and
+// overlap StartScan with FinishPending (see reservoir.Node), which
+// yields the byte-identical stream because the two phases touch disjoint
+// state.
 func (pe *DistPE) ProcessBatch(b workload.Batch) {
+	if pe.cfg.Shards > 0 {
+		buf := pe.StartScan(b)
+		pe.FinishPending()
+		pe.CommitScan(b, buf)
+		return
+	}
 	clock := pe.comm.Conn
 
 	// Phase 1: local scan & insert (the "insert" bars of Figure 6).
@@ -369,8 +400,11 @@ func (pe *DistPE) setThresholdToMax() {
 }
 
 // CollectSample implements Sampler: the union of all local reservoirs,
-// gathered at PE 0.
+// gathered at PE 0. It is a collective entry point, so it drains any
+// pipelined selection first — the sample handed out is always a
+// committed round boundary.
 func (pe *DistPE) CollectSample() []workload.Item {
+	pe.FinishPending()
 	local := make([]workload.Item, 0, pe.res.Len())
 	pe.res.ForEach(func(_ btree.Key, it workload.Item) bool {
 		local = append(local, it)
@@ -402,6 +436,16 @@ func (pe *DistPE) LocalSize() int { return pe.res.Len() }
 
 // SampleSize implements Sampler.
 func (pe *DistPE) SampleSize() int { return pe.size }
+
+// Pending reports whether a pipelined round's selection collectives are
+// still deferred (Config.Pipeline). Drain with FinishPending — a
+// collective call — before snapshotting or reading committed state.
+func (pe *DistPE) Pending() bool { return pe.pendingSel }
+
+// Sharded reports whether the sharded scan is active (Config.Shards >=
+// 1), i.e. whether the StartScan/FinishPending/CommitScan phase API is
+// available to external round drivers.
+func (pe *DistPE) Sharded() bool { return len(pe.shardSrc) > 0 }
 
 // Seen returns the global number of items processed so far.
 func (pe *DistPE) Seen() int64 { return pe.seen }

@@ -1,0 +1,204 @@
+package core
+
+// Tests for the deterministic sharded scan and the pipelined round
+// sequence (StartScan / FinishPending / CommitScan). The load-bearing
+// property is drain invariance: because CommitScan fixes the next scan's
+// threshold before deferring the selection, draining the pending
+// selection at ANY boundary — eagerly, lazily, or at random rounds —
+// must leave the sampling stream byte-identical (DESIGN.md §2.6).
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"reservoir/internal/simnet"
+	"reservoir/internal/workload"
+)
+
+// runSharded drives a p-PE distributed run and returns the collected
+// sample plus the final per-PE thresholds. afterRound, if non-nil, runs
+// SPMD after each round (it may issue collectives, e.g. FinishPending).
+func runSharded(t *testing.T, p, rounds int, cfg Config, src workload.Source, afterRound func(pe *DistPE, round int)) ([]workload.Item, []float64) {
+	t.Helper()
+	tc := newTestCluster(t, p, cfg, false)
+	for r := 0; r < rounds; r++ {
+		tc.processRound(src, r)
+		if afterRound != nil {
+			r := r
+			tc.cl.Parallel(func(pe *simnet.PE) {
+				afterRound(tc.samplers[pe.ID()].(*DistPE), r)
+			})
+		}
+	}
+	sample := tc.collect()
+	thresh := make([]float64, p)
+	for i, s := range tc.samplers {
+		thresh[i], _ = s.Threshold()
+	}
+	return sample, thresh
+}
+
+func sameStream(t *testing.T, label string, a, b []workload.Item, ta, tb []float64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: sample sizes differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: sample[%d] differs: %+v vs %+v", label, i, a[i], b[i])
+		}
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("%s: PE %d threshold differs: %v vs %v", label, i, ta[i], tb[i])
+		}
+	}
+}
+
+// TestPipelineDrainInvariance: at shards ∈ {1, 4}, a pipelined run with
+// no early drains and pipelined runs with extra drains injected at
+// assorted round boundaries all produce the byte-identical sample and
+// thresholds. (A pipelined run is NOT compared against Pipeline=false:
+// pipelining scans with a one-round-stale threshold by design, so it is
+// a different — distributionally identical — stream, which is why
+// Pipeline is part of the recorded stream identity.)
+func TestPipelineDrainInvariance(t *testing.T) {
+	const p, rounds, batch = 4, 8, 900
+	for _, shards := range []int{1, 4} {
+		for _, weighted := range []bool{true, false} {
+			cfg := Config{K: 64, Weighted: weighted, Seed: 42, Shards: shards, Pipeline: true}
+			src := workload.UniformSource{Seed: 7, BatchLen: batch, Lo: 0, Hi: 100}
+
+			pipeSample, pipeTh := runSharded(t, p, rounds, cfg, src, nil)
+
+			// Drain after rounds 0, 3, and 5 — plus the implicit drain
+			// inside CollectSample.
+			drainSample, drainTh := runSharded(t, p, rounds, cfg, src,
+				func(pe *DistPE, round int) {
+					if round == 0 || round == 3 || round == 5 {
+						pe.FinishPending()
+					}
+				})
+
+			// Drain after every round: the pipelined stream fully
+			// serialized must still match the fully deferred one.
+			eagerSample, eagerTh := runSharded(t, p, rounds, cfg, src,
+				func(pe *DistPE, round int) { pe.FinishPending() })
+
+			label := "pipelined-vs-drained"
+			if !weighted {
+				label += "-uniform"
+			}
+			sameStream(t, label, pipeSample, drainSample, pipeTh, drainTh)
+			sameStream(t, label+"-eager", pipeSample, eagerSample, pipeTh, eagerTh)
+			if len(pipeSample) != cfg.K {
+				t.Fatalf("shards=%d: sample has %d items, want k=%d", shards, len(pipeSample), cfg.K)
+			}
+		}
+	}
+}
+
+// TestShardCountChangesStream documents that Shards is part of the
+// sampling stream's identity: different shard counts draw variates from
+// different RNG substreams, so replays must use the recorded value.
+func TestShardCountChangesStream(t *testing.T) {
+	const p, rounds, batch = 4, 4, 1200
+	src := workload.UniformSource{Seed: 3, BatchLen: batch, Lo: 0, Hi: 100}
+	s1, _ := runSharded(t, p, rounds, Config{K: 48, Weighted: true, Seed: 5, Shards: 1}, src, nil)
+	s4, _ := runSharded(t, p, rounds, Config{K: 48, Weighted: true, Seed: 5, Shards: 4}, src, nil)
+	same := len(s1) == len(s4)
+	if same {
+		for i := range s1 {
+			if s1[i] != s4[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("shards=1 and shards=4 produced identical samples; the shard substreams are not domain-separated")
+	}
+}
+
+// TestShardedSnapshotRoundTrip: a pipelined sharded cluster snapshotted
+// mid-run (after a drain) and restored into fresh PEs continues the
+// byte-identical stream.
+func TestShardedSnapshotRoundTrip(t *testing.T) {
+	const p, firstHalf, secondHalf, batch = 4, 3, 3, 700
+	cfg := Config{K: 48, Weighted: true, Seed: 9, Shards: 4, Pipeline: true}
+	src := workload.UniformSource{Seed: 11, BatchLen: batch, Lo: 0, Hi: 100}
+
+	orig := newTestCluster(t, p, cfg, false)
+	for r := 0; r < firstHalf; r++ {
+		orig.processRound(src, r)
+	}
+	blobs := make([][]byte, p)
+	var mu sync.Mutex
+	orig.cl.Parallel(func(pe *simnet.PE) {
+		d := orig.samplers[pe.ID()].(*DistPE)
+		d.FinishPending() // snapshots are round boundaries
+		blob, err := d.MarshalBinary()
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			t.Errorf("PE %d snapshot: %v", pe.ID(), err)
+			return
+		}
+		blobs[pe.ID()] = blob
+	})
+	if t.Failed() {
+		t.Fatal("snapshot phase failed")
+	}
+
+	restored := newTestCluster(t, p, cfg, false)
+	restored.cl.Parallel(func(pe *simnet.PE) {
+		if err := restored.samplers[pe.ID()].(*DistPE).UnmarshalBinary(blobs[pe.ID()]); err != nil {
+			t.Errorf("PE %d restore: %v", pe.ID(), err)
+		}
+	})
+	if t.Failed() {
+		t.Fatal("snapshot phase failed")
+	}
+
+	for r := firstHalf; r < firstHalf+secondHalf; r++ {
+		orig.processRound(src, r)
+		restored.processRound(src, r)
+	}
+	a, b := orig.collect(), restored.collect()
+	ta := make([]float64, p)
+	tb := make([]float64, p)
+	for i := range ta {
+		ta[i], _ = orig.samplers[i].Threshold()
+		tb[i], _ = restored.samplers[i].Threshold()
+	}
+	sameStream(t, "snapshot-roundtrip", a, b, ta, tb)
+}
+
+// TestSnapshotRefusesPendingSelection: a snapshot taken while a
+// pipelined selection is still deferred would not be a round boundary;
+// MarshalBinary must reject it until FinishPending drains the round.
+func TestSnapshotRefusesPendingSelection(t *testing.T) {
+	const p = 2
+	cfg := Config{K: 32, Weighted: true, Seed: 17, Shards: 2, Pipeline: true}
+	src := workload.UniformSource{Seed: 19, BatchLen: 400, Lo: 0, Hi: 100}
+	tc := newTestCluster(t, p, cfg, false)
+	tc.processRound(src, 0)
+
+	tc.cl.Parallel(func(pe *simnet.PE) {
+		d := tc.samplers[pe.ID()].(*DistPE)
+		if !d.Pending() {
+			t.Errorf("PE %d: no pending selection after a pipelined round", pe.ID())
+			return
+		}
+		if _, err := d.MarshalBinary(); err == nil {
+			t.Errorf("PE %d: snapshot of an undrained pipelined round succeeded", pe.ID())
+		} else if !strings.Contains(err.Error(), "FinishPending") {
+			t.Errorf("PE %d: unhelpful snapshot error: %v", pe.ID(), err)
+		}
+		d.FinishPending()
+		if _, err := d.MarshalBinary(); err != nil {
+			t.Errorf("PE %d: snapshot after drain failed: %v", pe.ID(), err)
+		}
+	})
+}

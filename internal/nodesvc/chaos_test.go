@@ -297,6 +297,58 @@ func TestCrashRestartMidCommand(t *testing.T) {
 	c.shutdownAll()
 }
 
+// TestCrashRestartMidPipelinedCommand: kill -9 (in-process stand-in) a
+// node while a pipelined sharded ingest command is executing, with
+// defer_stats keeping selection collectives in flight across rounds. The
+// resync must land on a committed round boundary — restoreBoundary
+// clears any deferred selection — re-execute only the missing rounds,
+// and the refreshed stats plus the final sample must match an
+// uninterrupted simulator replay of the same pipelined stream.
+func TestCrashRestartMidPipelinedCommand(t *testing.T) {
+	const p, k, batch, rounds = 4, 48, 300, 20
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 5555, Shards: 4, Pipeline: true}
+	c := startChaosCluster(t, p, cfg, reservoir.Distributed)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, data := c.post("/v1/cluster/rounds", map[string]any{
+			"synthetic":   service.SyntheticSpec{BatchLen: batch, Rounds: rounds},
+			"defer_stats": true,
+		}, nil)
+		if resp.StatusCode != http.StatusOK {
+			c.t.Errorf("mid-pipelined-command rounds: %s: %s", resp.Status, data)
+		}
+	}()
+
+	time.Sleep(60 * time.Millisecond) // land mid-pipelined-round
+	c.kill(2)
+	time.Sleep(200 * time.Millisecond)
+	c.restart(2)
+
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("pipelined ingest command did not complete after the crash-restart cycle")
+	}
+
+	// defer_stats left the cached snapshot stale; the refresh query runs
+	// a collective stats command (draining any still-pending selection).
+	var st Stats
+	getJSON(t, c.ctrlAdr+"/v1/cluster/stats?refresh=1", &st)
+	if st.Rounds != rounds {
+		t.Fatalf("rounds = %d, want %d (no round may run twice or vanish)", st.Rounds, rounds)
+	}
+	if st.Shards != 4 || !st.Pipeline {
+		t.Fatalf("stats do not reflect the scan config: shards=%d pipeline=%v", st.Shards, st.Pipeline)
+	}
+
+	var sr SampleResponse
+	getJSON(t, c.ctrlAdr+"/v1/cluster/sample", &sr)
+	expectSample(t, cfg, reservoir.Distributed, p, rounds, batch, sr.Items)
+	c.shutdownAll()
+}
+
 // TestCrashRestartGatherAlgorithm: the centralized baseline recovers too
 // (its per-PE snapshots carry the root's sample).
 func TestCrashRestartGatherAlgorithm(t *testing.T) {

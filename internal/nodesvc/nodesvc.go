@@ -51,9 +51,15 @@ const (
 
 // command is the control message distributed through the cluster's own
 // Broadcast collective. Fields are exported for the wire transport.
+// DeferStats skips the per-command stats all-reduction (opRounds only):
+// pipelined benchmark drivers post one round per request, and a stats
+// collective after each would both serialize the rounds and leave no
+// selection in flight for the next scan to overlap. Deferred stats are
+// recovered collectively later via opStats (GET /v1/cluster/stats?refresh=1).
 type command struct {
-	Op   string
-	Spec service.SyntheticSpec
+	Op         string
+	Spec       service.SyntheticSpec
+	DeferStats bool
 }
 
 // commandWords is the nominal cost-model size of a command broadcast.
@@ -75,12 +81,14 @@ func init() {
 				panic(fmt.Sprintf("nodesvc: encoding command spec: %v", err))
 			}
 			buf = transport.AppendBytes(buf, []byte(v.Op))
-			return transport.AppendBytes(buf, spec)
+			buf = transport.AppendBytes(buf, spec)
+			return transport.AppendBool(buf, v.DeferStats)
 		},
 		func(d *transport.Dec) (command, error) {
 			var c command
 			c.Op = string(d.Bytes())
 			spec := d.Bytes()
+			c.DeferStats = d.Bool()
 			if err := d.Err(); err != nil {
 				return command{}, err
 			}
@@ -133,6 +141,8 @@ type Stats struct {
 	K               int                 `json:"k"`
 	Seed            uint64              `json:"seed"`
 	Uniform         bool                `json:"uniform,omitempty"`
+	Shards          int                 `json:"shards,omitempty"`
+	Pipeline        bool                `json:"pipeline,omitempty"`
 	Rounds          int                 `json:"rounds"`
 	SampleSize      int                 `json:"sample_size"`
 	Threshold       float64             `json:"threshold"`
@@ -143,6 +153,15 @@ type Stats struct {
 	SelectionRounds int64               `json:"selection_rounds"`
 	WallNS          float64             `json:"wall_ns"`
 	Network         NetworkStats        `json:"network"`
+	// Per-phase round breakdown, summed across all nodes (wall-clock
+	// nanoseconds; zero unless the sharded scan is active). OverlapNS is
+	// the wall time the pipelined driver saved by running a round's scan
+	// concurrently with the previous round's selection collectives.
+	ScanNS    int64 `json:"scan_ns,omitempty"`
+	CollNS    int64 `json:"coll_ns,omitempty"`
+	OverlapNS int64 `json:"overlap_ns,omitempty"`
+	RoundNS   int64 `json:"round_ns,omitempty"`
+	FlushNS   int64 `json:"flush_ns,omitempty"`
 }
 
 // NetworkStats is the cluster-wide traffic summary (all nodes' outgoing
@@ -165,6 +184,8 @@ type SampleDump struct {
 	K         int                   `json:"k"`
 	Algorithm reservoir.Algorithm   `json:"algorithm"`
 	Uniform   bool                  `json:"uniform,omitempty"`
+	Shards    int                   `json:"shards,omitempty"`
+	Pipeline  bool                  `json:"pipeline,omitempty"`
 	Seed      uint64                `json:"seed"`
 	Rounds    int                   `json:"rounds"`
 	Synthetic service.SyntheticSpec `json:"synthetic"`
@@ -234,7 +255,6 @@ func New(opts Options) (*Server, error) {
 	}
 	if fc, ok := opts.Conn.(ftConn); ok && fc.FaultTolerant() {
 		s.ft = fc
-		transport.Register(resyncMsg{})
 	}
 	if s.st != nil {
 		if s.ft == nil {
@@ -255,7 +275,7 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 	}
-	s.lastStat = s.snapshotLocked(reservoir.NetworkStats{}, reservoir.Counters{})
+	s.lastStat = s.snapshotLocked(reservoir.NetworkStats{}, reservoir.Counters{}, reservoir.PhaseStats{})
 	return s, nil
 }
 
@@ -521,8 +541,16 @@ func (s *Server) execute(cmd command) result {
 				return result{err: err}
 			}
 		}
+		if cmd.DeferStats {
+			// Leave the last round's selection in flight (the next
+			// command's scan will overlap it) and skip the stats
+			// all-reduction; the caller refreshes collectively later.
+			return result{stats: s.lastStats()}
+		}
+		s.node.DrainPending()
 		return result{stats: s.publishStats()}
 	case opStats:
+		s.node.DrainPending()
 		return result{stats: s.publishStats()}
 	case opSample:
 		items := s.node.CollectSample()
@@ -543,14 +571,14 @@ func (s *Server) execute(cmd command) result {
 // and, on every rank, returns the updated stats; rank 0 also caches them
 // for the non-collective GET /v1/cluster/stats.
 func (s *Server) publishStats() Stats {
-	net, cnt := s.node.ClusterStats()
+	net, cnt, phase := s.node.ClusterStats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.lastStat = s.snapshotLocked(net, cnt)
+	s.lastStat = s.snapshotLocked(net, cnt, phase)
 	return s.lastStat
 }
 
-func (s *Server) snapshotLocked(net reservoir.NetworkStats, cnt reservoir.Counters) Stats {
+func (s *Server) snapshotLocked(net reservoir.NetworkStats, cnt reservoir.Counters, phase reservoir.PhaseStats) Stats {
 	th, have := s.node.Threshold()
 	return Stats{
 		Mode:            "cluster-node",
@@ -559,6 +587,8 @@ func (s *Server) snapshotLocked(net reservoir.NetworkStats, cnt reservoir.Counte
 		K:               s.opts.Config.K,
 		Seed:            s.opts.Config.Seed,
 		Uniform:         !s.opts.Config.Weighted,
+		Shards:          s.opts.Config.Shards,
+		Pipeline:        s.opts.Config.Pipeline,
 		Rounds:          s.node.Round(),
 		SampleSize:      s.node.SampleSize(),
 		Threshold:       th,
@@ -573,6 +603,11 @@ func (s *Server) snapshotLocked(net reservoir.NetworkStats, cnt reservoir.Counte
 			Words:    net.Words,
 			Bytes:    net.Bytes,
 		},
+		ScanNS:    phase.ScanNS,
+		CollNS:    phase.CollNS,
+		OverlapNS: phase.OverlapNS,
+		RoundNS:   phase.RoundNS,
+		FlushNS:   phase.FlushNS,
 	}
 }
 
@@ -630,6 +665,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/cluster/rounds", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Synthetic *service.SyntheticSpec `json:"synthetic"`
+			// defer_stats skips the post-command stats all-reduction so a
+			// pipelined round's selection stays in flight across requests;
+			// refresh with GET /v1/cluster/stats?refresh=1.
+			DeferStats bool `json:"defer_stats,omitempty"`
 		}
 		if err := service.DecodeBody(w, r, 1<<20, &req); err != nil {
 			service.WriteErrorf(w, service.APIErrorCode(err, http.StatusBadRequest), "%v", err)
@@ -652,7 +691,7 @@ func (s *Server) Handler() http.Handler {
 			service.WriteErrorf(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		res, ok := s.submit(command{Op: opRounds, Spec: spec})
+		res, ok := s.submit(command{Op: opRounds, Spec: spec, DeferStats: req.DeferStats})
 		if !ok {
 			service.WriteErrorf(w, http.StatusServiceUnavailable, "cluster is shutting down")
 			return
@@ -676,6 +715,21 @@ func (s *Server) Handler() http.Handler {
 		service.WriteJSON(w, http.StatusOK, SampleResponse{Size: len(res.items), Items: res.items})
 	})
 	mux.HandleFunc("GET /v1/cluster/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("refresh") == "1" {
+			// Collective refresh: drains any deferred selection and runs
+			// the stats all-reduction (the counterpart of defer_stats).
+			res, ok := s.submit(command{Op: opStats})
+			if !ok {
+				service.WriteErrorf(w, http.StatusServiceUnavailable, "cluster is shutting down")
+				return
+			}
+			if res.err != nil {
+				service.WriteErrorf(w, http.StatusInternalServerError, "%v", res.err)
+				return
+			}
+			service.WriteJSON(w, http.StatusOK, res.stats)
+			return
+		}
 		service.WriteJSON(w, http.StatusOK, s.lastStats())
 	})
 	mux.HandleFunc("POST /v1/cluster/shutdown", func(w http.ResponseWriter, r *http.Request) {

@@ -158,6 +158,10 @@ func (s *Server) captureBoundary(specJSON []byte) error {
 	if s.ft == nil && s.st == nil {
 		return nil // nothing can consume a boundary; skip the per-round marshal
 	}
+	// A boundary must be a committed round: drain any pipelined selection
+	// still in flight (SPMD — every rank captures boundaries in lockstep).
+	// Draining here never changes the sampling stream (DESIGN.md §2.6).
+	s.node.DrainPending()
 	blob, err := s.node.MarshalState()
 	if err != nil {
 		return fmt.Errorf("nodesvc: rank %d: boundary snapshot: %w", s.node.Rank(), err)

@@ -76,6 +76,35 @@ type resyncMsg struct {
 	Rejoin  bool   // fault: the sender crash-restarted
 }
 
+// The recovery protocol exchanges O(p) control messages per resync
+// attempt; with the cluster mid-fault they sit on the latency-critical
+// path back to serving, so resyncMsg gets a wire codec like the
+// data-plane payloads (a fresh gob encoder per SendCtrl recompiles type
+// descriptors every time). The JOIN side of recovery — a restarted node's
+// transport handshake — is a fixed binary frame below the payload layer
+// and is untouched by codec choice.
+func init() {
+	transport.RegisterMarshaler(transport.WireIDResyncMsg,
+		func(buf []byte, v resyncMsg) []byte {
+			buf = append(buf, v.Kind)
+			buf = transport.AppendUvarint(buf, v.Attempt)
+			buf = transport.AppendUvarint(buf, v.Epoch)
+			buf = transport.AppendUvarint(buf, v.Round)
+			buf = transport.AppendUvarint(buf, v.Lo)
+			return transport.AppendBool(buf, v.Rejoin)
+		},
+		func(d *transport.Dec) (resyncMsg, error) {
+			return resyncMsg{
+				Kind:    d.U8(),
+				Attempt: d.Uvarint(),
+				Epoch:   d.Uvarint(),
+				Round:   d.Uvarint(),
+				Lo:      d.Uvarint(),
+				Rejoin:  d.Bool(),
+			}, d.Err()
+		})
+}
+
 // ringDepth bounds the in-memory boundary history. The lockstep collective
 // structure keeps the cluster-wide round spread ≤ 1, so even a restarted
 // node that persisted one round more than the survivors finished stays

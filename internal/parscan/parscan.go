@@ -1,0 +1,47 @@
+// Package parscan provides the one vetted parallel-for primitive the
+// deterministic sampling packages may use to spread a batch scan across
+// cores.
+//
+// The determinism rule (DESIGN.md §8) bans goroutine spawns in the
+// algorithmic packages because an uncontrolled interleaving can reach
+// shared sampler state. Run is the audited exception: callers split the
+// work into logical shards that own disjoint state (their own RNG
+// substream, their own output slot), so the result is independent of
+// scheduling and core count by construction. The shard count is a config
+// value, never GOMAXPROCS, which keeps the sampling stream itself
+// machine-independent.
+package parscan
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Run invokes fn(shard) for every shard in [0, shards), possibly
+// concurrently, and returns only after all calls have finished.
+//
+// Determinism contract for fn: it must write only to state owned
+// exclusively by its shard index and must not touch the transport, the
+// virtual clock, or any shared sampler state. Under that contract the
+// outcome is a pure function of the inputs, so callers inside
+// deterministic packages stay replay-identical at any core count —
+// which is also why the single-P fast path below is sound: inline
+// execution is just one of the schedules the concurrent form allows.
+func Run(shards int, fn func(shard int)) {
+	if shards <= 1 || runtime.GOMAXPROCS(0) == 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for s := 0; s < shards; s++ {
+		//lint:allow determinism -- vetted parallel-for: each fn(s) owns its shard's state exclusively and the WaitGroup joins every shard before Run returns, so no interleaving can reach shared sampler state (DESIGN.md §8 waiver table).
+		go func(s int) {
+			defer wg.Done()
+			fn(s)
+		}(s)
+	}
+	wg.Wait()
+}

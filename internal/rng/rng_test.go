@@ -397,3 +397,42 @@ func BenchmarkCounterAt(b *testing.B) {
 	}
 	_ = acc
 }
+
+// TestCounterStreamMatchesCounter pins the CounterStream fast path to the
+// canonical Counter: hoisting the seed mix and strength-reducing the
+// counter multiply must not change a single bit, or every recorded
+// synthetic workload would silently change identity.
+func TestCounterStreamMatchesCounter(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeefcafe} {
+		c := Counter{Seed: seed}
+		s := c.Stream()
+		for _, i := range []uint64{0, 1, 2, 63, 1 << 20, 1<<40 + 7} {
+			if got, want := s.At(i), c.At(i); got != want {
+				t.Fatalf("seed=%d i=%d: Stream().At=%x Counter.At=%x", seed, i, got, want)
+			}
+			if got, want := s.U01At(i), c.U01At(i); got != want {
+				t.Fatalf("seed=%d i=%d: Stream().U01At=%v Counter.U01At=%v", seed, i, got, want)
+			}
+		}
+	}
+}
+
+// TestU01AffineFillMatchesPerIndex checks the unrolled fill (including
+// its remainder loop) against per-index evaluation at several lengths
+// and bases.
+func TestU01AffineFillMatchesPerIndex(t *testing.T) {
+	c := Counter{Seed: 991}
+	s := c.Stream()
+	for _, n := range []int{0, 1, 3, 4, 5, 8, 127, 1000} {
+		for _, base := range []uint64{0, 9, 1 << 30} {
+			dst := make([]float64, n)
+			s.U01AffineFill(base, dst, 2.5, 97.5)
+			for j := range dst {
+				want := 2.5 + c.U01At(base+uint64(j))*97.5
+				if dst[j] != want {
+					t.Fatalf("n=%d base=%d j=%d: fill=%v per-index=%v", n, base, j, dst[j], want)
+				}
+			}
+		}
+	}
+}

@@ -85,6 +85,12 @@ type RunConfig struct {
 	// LocalThreshold and BlockedSkip toggle the Sec 5 optimizations.
 	LocalThreshold bool `json:"local_threshold,omitempty"`
 	BlockedSkip    bool `json:"blocked_skip,omitempty"`
+	// Shards fixes the logical scan-shard count (cluster runs; part of
+	// the sampling stream's identity, 0 = legacy single-stream scan).
+	// Pipeline defers each round's selection so the next scan can
+	// overlap it; implies shards >= 1. See DESIGN.md §2.6.
+	Shards   int  `json:"shards,omitempty"`
+	Pipeline bool `json:"pipeline,omitempty"`
 	// Seed drives all run randomness (0 is a valid seed).
 	Seed uint64 `json:"seed,omitempty"`
 	// AlphaNS/BetaNS override the simulated network cost parameters.
@@ -303,6 +309,8 @@ func clusterSetup(cfg RunConfig) (reservoir.Config, []reservoir.Option) {
 		Pivots:         cfg.Pivots,
 		LocalThreshold: cfg.LocalThreshold,
 		BlockedSkip:    cfg.BlockedSkip,
+		Shards:         cfg.Shards,
+		Pipeline:       cfg.Pipeline,
 		Seed:           cfg.Seed,
 	}
 	opts := []reservoir.Option{reservoir.WithAlgorithm(cfg.Algorithm)}

@@ -64,6 +64,12 @@ type Config struct {
 	// length in mini-batch rounds (default 8); BatchLen the mean items
 	// per PE per round (default 64).
 	P, K, Rounds, BatchLen int
+	// Shards fixes the cluster algorithms' logical scan-shard count
+	// (0 = legacy single-stream scan). The sharded scan redraws every
+	// admission variate from per-shard substreams, so re-validating the
+	// scenario grid at Shards > 1 checks the sharded stream's
+	// distributional correctness end to end (DESIGN.md §2.6).
+	Shards int
 	// Seed drives everything: streams, sampler seeds, oracle seeds.
 	Seed uint64
 	// Alpha is the family-wise significance level (default 1e-3).
@@ -162,7 +168,8 @@ func runTrial(algo string, cfg Config, st *stream, k int, seed uint64) ([]worklo
 		if algo == "gather" {
 			a = reservoir.CentralizedGather
 		}
-		cl, err := reservoir.NewCluster(cfg.P, reservoir.Config{K: k, Weighted: true, Seed: seed},
+		cl, err := reservoir.NewCluster(cfg.P,
+			reservoir.Config{K: k, Weighted: true, Seed: seed, Shards: cfg.Shards},
 			reservoir.WithAlgorithm(a))
 		if err != nil {
 			return nil, err
@@ -193,7 +200,7 @@ func Run(cfg Config) (*Report, error) {
 		Tests:        cells * checksPerCell,
 		Params: Params{
 			Trials: cfg.Trials, P: cfg.P, K: cfg.K, Rounds: cfg.Rounds,
-			BatchLen: cfg.BatchLen, Seed: cfg.Seed,
+			BatchLen: cfg.BatchLen, Shards: cfg.Shards, Seed: cfg.Seed,
 		},
 		Pass: true,
 	}

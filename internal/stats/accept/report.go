@@ -32,6 +32,7 @@ type Params struct {
 	K        int    `json:"k"`
 	Rounds   int    `json:"rounds"`
 	BatchLen int    `json:"batch_len"`
+	Shards   int    `json:"shards,omitempty"`
 	Seed     uint64 `json:"seed"`
 }
 

@@ -12,10 +12,12 @@ import (
 	"sync"
 	"testing"
 
+	"reservoir"
 	"reservoir/internal/btree"
 	"reservoir/internal/coll"
 	"reservoir/internal/core"
 	"reservoir/internal/simnet"
+	"reservoir/internal/transport"
 	"reservoir/internal/transport/tcpnet"
 	"reservoir/internal/workload"
 )
@@ -187,6 +189,8 @@ func TestSamplingEquivalenceAcrossTransports(t *testing.T) {
 		{"distributed-uniform", "ours", core.Config{K: 48, Seed: 7}, 4, 5, 600},
 		{"distributed-multipivot", "ours", core.Config{K: 64, Weighted: true, Seed: 11, Strategy: core.SelMultiPivot, Pivots: 4}, 5, 4, 500},
 		{"gather-baseline", "gather", core.Config{K: 64, Weighted: true, Seed: 23}, 4, 6, 800},
+		{"distributed-sharded1", "ours", core.Config{K: 64, Weighted: true, Seed: 31, Shards: 1}, 4, 6, 800},
+		{"distributed-sharded4", "ours", core.Config{K: 64, Weighted: true, Seed: 37, Shards: 4}, 4, 6, 800},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -236,5 +240,118 @@ func TestSamplingEquivalenceAcrossTransports(t *testing.T) {
 				t.Fatalf("sample has %d items, want k=%d", len(sim.sample), tc.cfg.K)
 			}
 		})
+	}
+}
+
+// TestPipelinedNodeEquivalenceAcrossTransports runs the production round
+// driver — reservoir.Node, which under Config.Pipeline overlaps each
+// round's scan goroutine with the previous round's selection collectives
+// — over both backends at shards ∈ {1, 4} and demands byte-identical
+// samples and thresholds. This is the cross-transport pin for the
+// pipelined sharded scan: real sockets, real concurrency, same stream.
+func TestPipelinedNodeEquivalenceAcrossTransports(t *testing.T) {
+	const p, rounds, batch = 4, 8, 600
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			cfg := reservoir.Config{K: 64, Weighted: true, Seed: 41, Shards: shards, Pipeline: true}
+			src := reservoir.UniformSource{Seed: 43, BatchLen: batch, Lo: 0, Hi: 100}
+
+			type result struct {
+				sample []workload.Item
+				thresh []float64
+			}
+			drive := func(conn transport.Conn, rank int, res *result, mu *sync.Mutex) {
+				n, err := reservoir.NewNode(conn, cfg)
+				if err != nil {
+					panic(err)
+				}
+				for r := 0; r < rounds; r++ {
+					n.ProcessRound(src)
+				}
+				sample := n.CollectSample()
+				th, _ := n.Threshold()
+				mu.Lock()
+				defer mu.Unlock()
+				res.thresh[rank] = th
+				if rank == 0 {
+					res.sample = sample
+				}
+			}
+
+			var mu sync.Mutex
+			sim := result{thresh: make([]float64, p)}
+			runOverSimnetConns(t, p, func(conn transport.Conn, rank int) {
+				drive(conn, rank, &sim, &mu)
+			})
+			tcp := result{thresh: make([]float64, p)}
+			runOverTCPConns(t, p, func(conn transport.Conn, rank int) {
+				drive(conn, rank, &tcp, &mu)
+			})
+
+			if len(sim.sample) != len(tcp.sample) {
+				t.Fatalf("sample sizes differ: simnet %d vs tcpnet %d", len(sim.sample), len(tcp.sample))
+			}
+			for i := range sim.sample {
+				if sim.sample[i] != tcp.sample[i] {
+					t.Fatalf("sample[%d] differs: simnet %+v vs tcpnet %+v", i, sim.sample[i], tcp.sample[i])
+				}
+			}
+			for rank := 0; rank < p; rank++ {
+				if sim.thresh[rank] != tcp.thresh[rank] {
+					t.Errorf("rank %d threshold: simnet %v vs tcpnet %v", rank, sim.thresh[rank], tcp.thresh[rank])
+				}
+			}
+			if len(sim.sample) != cfg.K {
+				t.Fatalf("sample has %d items, want k=%d", len(sim.sample), cfg.K)
+			}
+		})
+	}
+}
+
+// runOverSimnetConns is runOverSimnet with the raw transport.Conn (the
+// Node constructor wants the connection, not a pre-built Comm).
+func runOverSimnetConns(t *testing.T, p int, body func(conn transport.Conn, rank int)) {
+	t.Helper()
+	cl := simnet.NewCluster(p, simnet.DefaultCost())
+	cl.Parallel(func(pe *simnet.PE) { body(pe, pe.ID()) })
+	if n := cl.PendingMessages(); n != 0 {
+		t.Fatalf("simnet: %d leaked messages", n)
+	}
+}
+
+// runOverTCPConns is runOverTCP with the raw transport.Conn.
+func runOverTCPConns(t *testing.T, p int, body func(conn transport.Conn, rank int)) {
+	t.Helper()
+	ts, err := tcpnet.Loopback(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	panics := make([]any, p)
+	var wg sync.WaitGroup
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() { panics[rank] = recover() }()
+			body(ts[rank], rank)
+		}(i)
+	}
+	wg.Wait()
+	for rank, r := range panics {
+		if r != nil {
+			t.Fatalf("tcpnet: rank %d panicked: %v", rank, r)
+		}
+	}
+	for rank, tr := range ts {
+		if n := tr.Pending(); n != 0 {
+			t.Fatalf("tcpnet: rank %d has %d leaked messages", rank, n)
+		}
 	}
 }

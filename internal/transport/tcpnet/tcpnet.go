@@ -30,7 +30,12 @@
 // Messages above the 64 MiB per-frame cap are written as a contiguous run
 // of fragments (high bit set on the length word, CRC per fragment) and
 // reassembled by the receiver, so message size is bounded only by a 1 GiB
-// memory backstop, not by the framing.
+// memory backstop, not by the framing. In the other direction, small
+// same-destination messages coalesce (protocol v4): bit 30 of the length
+// word marks a frame whose payload is a run of sub-messages
+// [u32 tag | u32 words | u32 len | payload] sharing the frame's epoch and
+// CRC, so a collective's burst of tiny sends to one peer costs one header
+// and one checksum.
 //
 // (all little-endian). The payload is the transport wire codec's output
 // (see internal/transport's wire.go and DESIGN.md §2.4): a one-byte
@@ -118,7 +123,7 @@ import (
 
 const (
 	handshakeMagic  = 0x52535654 // "RSVT"
-	protocolVersion = 3          // v3: wire-codec payload discriminator (v2: epoch frame word, two-way handshake with incarnation)
+	protocolVersion = 4          // v4: coalesced frames (v3: wire-codec payload discriminator, v2: epoch frame word, two-way handshake with incarnation)
 	handshakeLen    = 21
 	frameHeaderLen  = 20
 	// maxFramePayload bounds one frame; larger messages are fragmented
@@ -128,6 +133,20 @@ const (
 	// fragFlag marks a frame as a non-final fragment of a larger message
 	// (set on the length header word; lengths stay below 1<<26).
 	fragFlag = uint32(1) << 31
+	// coalFlag marks a coalesced frame (protocol v4): the payload is a run
+	// of sub-messages [u32 tag | u32 words | u32 len | payload] sharing the
+	// frame's epoch and CRC. Small same-destination sends merge into one
+	// frame, so a collective's burst of reduce steps costs one header and
+	// one checksum instead of one per message.
+	coalFlag = uint32(1) << 30
+	// subHeaderLen is the per-sub-message header inside a coalesced frame.
+	subHeaderLen = 12
+	// coalMaxMsg bounds the bodies that ride the coalescing path; larger
+	// messages gain nothing from sharing a header and are framed directly.
+	coalMaxMsg = 4096
+	// coalMaxBuf bounds one coalesced frame's payload; the pend buffer is
+	// emitted into the link's write buffer when it grows past this.
+	coalMaxBuf = 32 << 10
 	// maxMessageBytes bounds one reassembled message — a memory backstop,
 	// far above anything the samplers send. The encoder enforces the same
 	// cap during encoding (transport.AppendPayload).
@@ -215,6 +234,10 @@ type Transport struct {
 	messages atomic.Int64
 	words    atomic.Int64
 	bytes    atomic.Int64
+	// flushNS accumulates wall time spent emitting staged coalesced runs
+	// and draining link write buffers to the sockets (the round breakdown's
+	// coalesce-flush phase).
+	flushNS atomic.Int64
 	// dirtyLinks counts links holding buffered unflushed frames — the
 	// Flush fast path exits without touching any link mutex when zero.
 	dirtyLinks atomic.Int32
@@ -224,12 +247,19 @@ type Transport struct {
 }
 
 // link is one outbound (send-only) connection. dirty marks buffered
-// frames awaiting a flush (see the package comment's batching rules).
+// bytes (staged sub-messages or framed writes) awaiting a flush (see the
+// package comment's batching rules). pend stages small messages as
+// coalesced-frame sub-messages until a flush point, a larger message, or
+// an epoch change emits them; all messages to the peer pass through the
+// same staging in send order, so FIFO delivery is preserved.
 type link struct {
-	mu    sync.Mutex
-	conn  net.Conn
-	w     *bufio.Writer
-	dirty bool
+	mu        sync.Mutex
+	conn      net.Conn
+	w         *bufio.Writer
+	dirty     bool
+	pend      []byte
+	pendCount int
+	pendEpoch uint32
 }
 
 // Dial forms this node's side of the cluster: it starts listening, opens a
@@ -669,8 +699,9 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			return
 		}
 		lenWord := binary.LittleEndian.Uint32(head[0:4])
-		n := lenWord &^ fragFlag
+		n := lenWord &^ (fragFlag | coalFlag)
 		frag := lenWord&fragFlag != 0
+		coal := lenWord&coalFlag != 0
 		tag := int(binary.LittleEndian.Uint32(head[4:8]))
 		// head[8:12] is the sender's cost-model word count; traffic is
 		// accounted sender-side, so the receiver does not store it.
@@ -691,6 +722,10 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			return
 		}
 		if frag || partial != nil {
+			if coal {
+				t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d sent a fragmented coalesced frame", t.rank, from))
+				return
+			}
 			partial = append(partial, payload...)
 			releaseBuf(buf)
 			buf = nil
@@ -703,12 +738,44 @@ func (t *Transport) readLoop(from int, conn net.Conn) {
 			}
 			payload, partial = partial, nil
 		}
+		if coal {
+			// Sub-message payloads alias the frame buffer and are consumed
+			// at independent times, so the buffer leaves the pool's
+			// ownership (buf token dropped; GC reclaims the blob once every
+			// sub-message is decoded).
+			if !t.putCoalesced(from, epoch, payload) {
+				t.failFrom(from, conn, fmt.Errorf("tcpnet: rank %d: peer %d sent a malformed coalesced frame", t.rank, from))
+				return
+			}
+			continue
+		}
 		if tag == CtrlTag {
 			t.box.putCtrl(ctrlMsg{from: from, payload: payload, buf: buf})
 			continue
 		}
 		t.box.put(inMsg{from: from, tag: tag, epoch: epoch, payload: payload, buf: buf})
 	}
+}
+
+// putCoalesced unpacks one coalesced frame's sub-message run into the
+// mailbox, preserving send order. Returns false on a malformed run.
+func (t *Transport) putCoalesced(from int, epoch uint32, blob []byte) bool {
+	for off := 0; off < len(blob); {
+		if off+subHeaderLen > len(blob) {
+			return false
+		}
+		tag := int(binary.LittleEndian.Uint32(blob[off : off+4]))
+		// blob[off+4:off+8] is the sender's cost-model word count
+		// (accounted sender-side, like the frame header's).
+		n := int(binary.LittleEndian.Uint32(blob[off+8 : off+12]))
+		off += subHeaderLen
+		if n < 0 || off+n > len(blob) || tag == CtrlTag {
+			return false // ctrl frames never coalesce; a CtrlTag sub-message is a framing bug
+		}
+		t.box.put(inMsg{from: from, tag: tag, epoch: epoch, payload: blob[off : off+n]})
+		off += n
+	}
+	return true
 }
 
 // failFrom reacts to one inbound connection failing, unless this
@@ -772,7 +839,6 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 	releaseBuf(buf)
 	t.messages.Add(1)
 	t.words.Add(int64(words))
-	t.bytes.Add(framedBytes(body))
 }
 
 // sendFailed turns a write error into the mode-appropriate panic.
@@ -800,9 +866,13 @@ func framedBytes(body []byte) int64 {
 	return int64(len(body)) + int64(frames)*frameHeaderLen
 }
 
-// writeMessage frames and buffers one message on the current link to
-// `to`, flushing to the socket only when flush is set (control frames)
-// or the link's write buffer spills.
+// writeMessage stages or frames one message on the current link to `to`.
+// Small data messages are staged into the link's coalesce buffer; control
+// frames (flush set), larger bodies, and epoch changes first emit the
+// staged run so per-link FIFO order survives. Socket flushes happen only
+// when flush is set or the link's write buffer spills. Wire bytes are
+// accounted here (at framing time), since a staged message's share of
+// header bytes is only known once its coalesced frame is emitted.
 func (t *Transport) writeMessage(to, tag, words int, body []byte, flush bool) error {
 	t.mu.Lock()
 	l := t.out[to]
@@ -813,9 +883,38 @@ func (t *Transport) writeMessage(to, tag, words int, body []byte, flush bool) er
 	epoch := t.box.currentEpoch()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	coalesce := !flush && tag != CtrlTag && len(body) <= coalMaxMsg
+	if l.pendCount > 0 && (!coalesce || l.pendEpoch != epoch) {
+		if err := l.emitPend(t); err != nil {
+			return err
+		}
+	}
+	if coalesce {
+		if l.pendCount == 0 {
+			l.pendEpoch = epoch
+		}
+		var sub [subHeaderLen]byte
+		binary.LittleEndian.PutUint32(sub[0:4], uint32(tag))
+		binary.LittleEndian.PutUint32(sub[4:8], uint32(words))
+		binary.LittleEndian.PutUint32(sub[8:12], uint32(len(body)))
+		l.pend = append(l.pend, sub[:]...)
+		l.pend = append(l.pend, body...)
+		l.pendCount++
+		if len(l.pend) >= coalMaxBuf {
+			if err := l.emitPend(t); err != nil {
+				return err
+			}
+		}
+		if !l.dirty {
+			l.dirty = true
+			t.dirtyLinks.Add(1)
+		}
+		return nil
+	}
 	if err := writeFrames(l.w, tag, words, epoch, body); err != nil {
 		return err
 	}
+	t.bytes.Add(framedBytes(body))
 	if flush {
 		if l.dirty {
 			l.dirty = false
@@ -830,6 +929,49 @@ func (t *Transport) writeMessage(to, tag, words int, body []byte, flush bool) er
 	return nil
 }
 
+// emitPend frames the link's staged sub-messages into its write buffer:
+// a single staged message becomes a normal frame (no coalescing
+// overhead), two or more become one coalesced frame sharing a header and
+// CRC. The caller holds l.mu.
+func (l *link) emitPend(t *Transport) error {
+	if l.pendCount == 0 {
+		return nil
+	}
+	var err error
+	if l.pendCount == 1 {
+		tag := int(binary.LittleEndian.Uint32(l.pend[0:4]))
+		words := int(binary.LittleEndian.Uint32(l.pend[4:8]))
+		body := l.pend[subHeaderLen:]
+		err = writeFrames(l.w, tag, words, l.pendEpoch, body)
+		t.bytes.Add(framedBytes(body))
+	} else {
+		err = writeCoalesced(l.w, l.pendEpoch, l.pend)
+		t.bytes.Add(int64(len(l.pend)) + frameHeaderLen)
+	}
+	l.pend = l.pend[:0]
+	l.pendCount = 0
+	return err
+}
+
+// writeCoalesced writes one coalesced frame: the standard header with
+// coalFlag set on the length word (tag and words are zero — each
+// sub-message carries its own) and the staged sub-message run as payload,
+// checksummed as one unit. The run stays below coalMaxBuf + coalMaxMsg,
+// far under the fragmentation threshold.
+func writeCoalesced(w io.Writer, epoch uint32, blob []byte) error {
+	var head [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(head[0:4], uint32(len(blob))|coalFlag)
+	binary.LittleEndian.PutUint32(head[4:8], 0)
+	binary.LittleEndian.PutUint32(head[8:12], 0)
+	binary.LittleEndian.PutUint32(head[12:16], epoch)
+	binary.LittleEndian.PutUint32(head[16:20], crc32.ChecksumIEEE(blob))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(blob)
+	return err
+}
+
 // Flush implements transport.Flusher: write out every buffered frame on
 // every link. Recv calls it before blocking and the collectives call it
 // (via transport.FlushConn) at operation exit; see the package comment
@@ -839,6 +981,7 @@ func (t *Transport) Flush() {
 	if t.dirtyLinks.Load() == 0 {
 		return
 	}
+	start := time.Now()
 	for peer := 0; peer < t.p; peer++ {
 		t.mu.Lock()
 		l := t.out[peer]
@@ -851,14 +994,22 @@ func (t *Transport) Flush() {
 		if l.dirty {
 			l.dirty = false
 			t.dirtyLinks.Add(-1)
-			err = l.w.Flush()
+			err = l.emitPend(t)
+			if err == nil {
+				err = l.w.Flush()
+			}
 		}
 		l.mu.Unlock()
 		if err != nil {
 			t.sendFailed(peer, err)
 		}
 	}
+	t.flushNS.Add(time.Since(start).Nanoseconds())
 }
+
+// FlushNS returns the accumulated wall time spent in Flush (coalesce
+// emission plus socket drain) in nanoseconds.
+func (t *Transport) FlushNS() int64 { return t.flushNS.Load() }
 
 // writeFrames writes one message as one frame, or — above the per-frame
 // cap — as a run of flagged fragments followed by a final unflagged frame.
@@ -898,6 +1049,15 @@ func writeFrames(w io.Writer, tag, words int, epoch uint32, body []byte) error {
 // simulator's treatment of protocol violations as programming errors; in
 // fault-tolerant mode recoverable faults panic with a *FaultError.
 func (t *Transport) Recv(from, tag int) any {
+	// Fast path: the message already arrived — deliver without touching
+	// any link. Buffered sends stay staged until the next blocking Recv or
+	// collective exit (transport.FlushConn), both of which flush, so the
+	// deadlock-freedom argument is unchanged: a rank never *blocks*
+	// holding traffic a peer may be waiting on.
+	m, ok := t.box.tryGet(from, tag)
+	if ok {
+		return t.decodeMsg(from, tag, m)
+	}
 	t.Flush() // never block holding traffic a peer may be waiting on
 	m, err := t.box.get(from, tag)
 	if err != nil {
@@ -907,6 +1067,12 @@ func (t *Transport) Recv(from, tag int) any {
 		}
 		panic(&transport.FatalError{Rank: t.rank, Peer: from, Msg: err.Error()})
 	}
+	return t.decodeMsg(from, tag, m)
+}
+
+// decodeMsg decodes one delivered message's payload and recycles its
+// frame buffer.
+func (t *Transport) decodeMsg(from, tag int, m inMsg) any {
 	v, derr := transport.DecodePayload(m.payload)
 	if derr != nil {
 		// Undecodable payload: wire corruption (or a sender bug), fatal
@@ -1000,7 +1166,6 @@ func (t *Transport) SendCtrl(to int, payload any, deadline time.Time) error {
 		if err == nil {
 			t.messages.Add(1)
 			t.words.Add(1)
-			t.bytes.Add(framedBytes(body))
 			return nil
 		}
 		t.redialPeer(to)
@@ -1150,6 +1315,20 @@ func (b *mailbox) put(m inMsg) {
 	b.queue = append(b.queue, m)
 	b.mu.Unlock()
 	b.cond.Broadcast()
+}
+
+// tryGet claims a queued (from, tag) match without blocking (Recv's
+// fast path: skip the flush sweep when the message already arrived).
+func (b *mailbox) tryGet(from, tag int) (inMsg, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.queue {
+		if m.from == from && m.tag == tag && (!b.ft || m.epoch == b.epoch) {
+			b.queue = append(b.queue[:i], b.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return inMsg{}, false
 }
 
 func (b *mailbox) get(from, tag int) (inMsg, error) {

@@ -75,6 +75,7 @@ const (
 	WireIDIntTable        uint8 = 19 // [][]int (AllGather broadcast of the rank table)
 	WireIDClusterStats    uint8 = 20 // reservoir.clusterStats (merged stats all-reduction)
 	WireIDCommand         uint8 = 21 // nodesvc.command (per-round control broadcast)
+	WireIDResyncMsg       uint8 = 22 // nodesvc.resyncMsg (recovery control plane)
 
 	// Registered by internal/transport/faultnet.
 	WireIDEnvelope uint8 = 17 // faultnet.envelope (wraps a nested payload)

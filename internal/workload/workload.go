@@ -104,15 +104,16 @@ func UniformWeight(seed uint64, lo, hi float64) func(i uint64) float64 {
 }
 
 // UniformWeightBulk is the block-fill form of UniformWeight (same seed →
-// identical values): the counter generator inlines into the fill loop,
-// roughly halving the per-item cost of materializing a batch's weights.
+// identical values): the hoisted counter stream and its unrolled affine
+// fill cut the per-item cost of materializing a batch's weights to
+// roughly a third of the closure-per-item form. The weight fill is the
+// single largest CPU consumer of a cluster node under synthetic load, so
+// this loop is worth its specialization.
 func UniformWeightBulk(seed uint64, lo, hi float64) func(base uint64, dst []float64) {
-	c := rng.Counter{Seed: seed}
+	cs := rng.Counter{Seed: seed}.Stream()
 	scale := hi - lo
 	return func(base uint64, dst []float64) {
-		for j := range dst {
-			dst[j] = lo + c.U01At(base+uint64(j))*scale
-		}
+		cs.U01AffineFill(base, dst, lo, scale)
 	}
 }
 

@@ -2,6 +2,7 @@ package reservoir
 
 import (
 	"fmt"
+	"time"
 
 	"reservoir/internal/coll"
 	"reservoir/internal/core"
@@ -29,6 +30,34 @@ type Node struct {
 	sampler core.Sampler
 	algo    Algorithm
 	round   int
+	phase   PhaseStats
+}
+
+// PhaseStats is the wall-clock per-phase breakdown of a node's round
+// loop, in nanoseconds, accumulated over all rounds. ScanNS is the local
+// skip scan (StartScan); CollNS is the collective side (the deferred
+// selection drain plus the merge/selection of CommitScan); OverlapNS is
+// the wall time the pipelined driver saved by running the two
+// concurrently (min of the overlapped pair per round); RoundNS is total
+// round wall time. Only the sharded distributed sampler fills these in.
+// FlushNS is the transport's accumulated coalesce-flush time (staged
+// frame emission plus socket drain), reported by transports that track
+// it (tcpnet); it is filled in at ClusterStats time, not per round.
+type PhaseStats struct {
+	ScanNS    int64
+	CollNS    int64
+	OverlapNS int64
+	RoundNS   int64
+	FlushNS   int64
+}
+
+// Add accumulates other into p.
+func (p *PhaseStats) Add(other PhaseStats) {
+	p.ScanNS += other.ScanNS
+	p.CollNS += other.CollNS
+	p.OverlapNS += other.OverlapNS
+	p.RoundNS += other.RoundNS
+	p.FlushNS += other.FlushNS
 }
 
 // NewNode creates this process's PE of a multi-process cluster. Every
@@ -72,10 +101,79 @@ func (n *Node) Algorithm() Algorithm { return n.algo }
 
 // ProcessBatch ingests this node's mini-batch for the current round and
 // runs the collective threshold update (SPMD: all nodes must call it).
+// When the sampler runs the sharded scan (Config.Shards >= 1), the node
+// drives the three round phases itself so that — under Config.Pipeline —
+// the local scan of this round overlaps the still-in-flight selection
+// collectives of the previous one. The overlap is safe and
+// byte-identical to the simulator's sequential phase order because
+// StartScan and FinishPending touch disjoint sampler state (DESIGN.md
+// §2.6).
 func (n *Node) ProcessBatch(b Batch) {
-	n.sampler.ProcessBatch(b)
+	if pe, ok := n.sampler.(*core.DistPE); ok && pe.Sharded() {
+		n.processSharded(pe, b)
+	} else {
+		n.sampler.ProcessBatch(b)
+	}
 	n.round++
 }
+
+// processSharded runs one sharded round, overlapping the scan with the
+// previous round's deferred selection when one is pending.
+func (n *Node) processSharded(pe *core.DistPE, b Batch) {
+	r0 := time.Now()
+	var buf *core.ScanBuf
+	if pe.Pending() {
+		var scanDur time.Duration
+		done := make(chan struct{})
+		go func() {
+			s0 := time.Now()
+			buf = pe.StartScan(b)
+			scanDur = time.Since(s0)
+			close(done)
+		}()
+		f0 := time.Now()
+		pe.FinishPending()
+		finishDur := time.Since(f0)
+		<-done
+		n.phase.ScanNS += scanDur.Nanoseconds()
+		n.phase.CollNS += finishDur.Nanoseconds()
+		saved := scanDur
+		if finishDur < saved {
+			saved = finishDur
+		}
+		n.phase.OverlapNS += saved.Nanoseconds()
+	} else {
+		s0 := time.Now()
+		buf = pe.StartScan(b)
+		n.phase.ScanNS += time.Since(s0).Nanoseconds()
+	}
+	c0 := time.Now()
+	pe.CommitScan(b, buf)
+	n.phase.CollNS += time.Since(c0).Nanoseconds()
+	n.phase.RoundNS += time.Since(r0).Nanoseconds()
+}
+
+// DrainPending completes a pipelined round's deferred selection
+// collectives, if any (SPMD; no-op otherwise). Node-mode round
+// boundaries — sample collection, state snapshots — drain first so they
+// always observe a committed round; draining early never changes the
+// sampling stream (DESIGN.md §2.6).
+func (n *Node) DrainPending() {
+	if pe, ok := n.sampler.(*core.DistPE); ok {
+		pe.FinishPending()
+	}
+}
+
+// Pending reports whether a pipelined round's selection is still
+// deferred on this node.
+func (n *Node) Pending() bool {
+	pe, ok := n.sampler.(*core.DistPE)
+	return ok && pe.Pending()
+}
+
+// PhaseStats returns this node's accumulated wall-clock round-phase
+// breakdown (zero unless the sharded scan is active).
+func (n *Node) PhaseStats() PhaseStats { return n.phase }
 
 // ProcessRound ingests this node's next mini-batch from src (SPMD).
 func (n *Node) ProcessRound(src Source) {
@@ -141,28 +239,35 @@ func (n *Node) ClusterCounters() Counters {
 	}, 6)
 }
 
-// clusterStats carries both stat families through one all-reduction so a
-// stats round costs log p latency terms once, not twice. It crosses the
-// wire per round, so it gets a codec (WireIDClusterStats, wire.go).
+// clusterStats carries all three stat families through one all-reduction
+// so a stats round costs log p latency terms once, not three times. It
+// crosses the wire on stats refreshes, so it gets a codec
+// (WireIDClusterStats, wire.go).
 type clusterStats struct {
-	Net NetworkStats
-	Ops Counters
+	Net   NetworkStats
+	Ops   Counters
+	Phase PhaseStats
 }
 
-// ClusterStats sums every node's traffic and operation counters with a
-// single all-reduction and returns both totals on every node (SPMD). It
-// is equivalent to ClusterNetworkStats + ClusterCounters at half the
-// round-trip count; the per-round stats publication uses it.
-func (n *Node) ClusterStats() (NetworkStats, Counters) {
-	local := clusterStats{Net: n.NetworkStats(), Ops: n.sampler.Counters()}
+// ClusterStats sums every node's traffic counters, operation counters,
+// and round-phase breakdown with a single all-reduction and returns the
+// totals on every node (SPMD). It is equivalent to ClusterNetworkStats +
+// ClusterCounters at a third of the round-trip count; the stats
+// publication uses it.
+func (n *Node) ClusterStats() (NetworkStats, Counters, PhaseStats) {
+	local := clusterStats{Net: n.NetworkStats(), Ops: n.sampler.Counters(), Phase: n.phase}
+	if f, ok := n.conn.(interface{ FlushNS() int64 }); ok {
+		local.Phase.FlushNS = f.FlushNS()
+	}
 	total := coll.AllReduce(n.comm, local, func(a, b clusterStats) clusterStats {
 		a.Net.Messages += b.Net.Messages
 		a.Net.Words += b.Net.Words
 		a.Net.Bytes += b.Net.Bytes
 		a.Ops.Add(b.Ops)
+		a.Phase.Add(b.Phase)
 		return a
-	}, 9)
-	return total.Net, total.Ops
+	}, 14)
+	return total.Net, total.Ops, total.Phase
 }
 
 // Seen returns the global number of items processed so far, as known by

@@ -15,6 +15,9 @@
 #   await_control [tries]     — poll rank 0's /healthz until it answers
 #
 # Callers provide K, SEED, ALGO, and optionally EXTRA_NODE_FLAGS.
+# SHARDS (>0) adds -shards to every node; PIPELINE (non-empty) adds
+# -pipeline — together they run the cluster with the deterministic
+# sharded scan and round pipelining (DESIGN.md §2.6).
 
 build_binaries() {
   echo "== building binaries"
@@ -54,14 +57,20 @@ install_cleanup_trap() {
 }
 
 launch_node() {
-  local rank="$1" addr_arg=""
+  local rank="$1" addr_arg="" scan_flags=""
   shift
   if [ "$rank" -eq 0 ]; then
     addr_arg="-addr 127.0.0.1:$CONTROL_PORT"
   fi
+  if [ "${SHARDS:-0}" -gt 0 ]; then
+    scan_flags="-shards ${SHARDS}"
+  fi
+  if [ -n "${PIPELINE:-}" ]; then
+    scan_flags="$scan_flags -pipeline"
+  fi
   # shellcheck disable=SC2086
   /tmp/reservoir-serve -peer-id "$rank" -peers "$PEERS" $addr_arg \
-    -k "$K" -seed "$SEED" -algo "$ALGO" ${EXTRA_NODE_FLAGS:-} "$@" &
+    -k "$K" -seed "$SEED" -algo "$ALGO" $scan_flags ${EXTRA_NODE_FLAGS:-} "$@" &
   PIDS[rank]=$!
 }
 

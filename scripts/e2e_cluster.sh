@@ -10,6 +10,9 @@
 # the probing for debugging. EXTRA_NODE_FLAGS is appended to every node's
 # command line (e.g. a faultnet schedule: EXTRA_NODE_FLAGS="-fault-drop
 # 0.05 -fault-dup 0.05" — the sample must still verify byte-identical).
+# SHARDS=4 PIPELINE=1 runs the cluster with the deterministic sharded
+# scan and pipelined selection rounds; the dump records both, so the
+# -match replay stays byte-identical either way.
 #
 # Usage: scripts/e2e_cluster.sh [p] [rounds] [batch]
 set -euo pipefail

@@ -31,7 +31,12 @@ func init() {
 			buf = transport.AppendVarint(buf, v.Ops.CandidateWords)
 			buf = transport.AppendVarint(buf, v.Ops.Selections)
 			buf = transport.AppendVarint(buf, v.Ops.SelectionRounds)
-			return transport.AppendVarint(buf, v.Ops.GatheredSelections)
+			buf = transport.AppendVarint(buf, v.Ops.GatheredSelections)
+			buf = transport.AppendVarint(buf, v.Phase.ScanNS)
+			buf = transport.AppendVarint(buf, v.Phase.CollNS)
+			buf = transport.AppendVarint(buf, v.Phase.OverlapNS)
+			buf = transport.AppendVarint(buf, v.Phase.RoundNS)
+			return transport.AppendVarint(buf, v.Phase.FlushNS)
 		},
 		func(d *transport.Dec) (clusterStats, error) {
 			return clusterStats{
@@ -47,6 +52,13 @@ func init() {
 					Selections:         d.Varint(),
 					SelectionRounds:    d.Varint(),
 					GatheredSelections: d.Varint(),
+				},
+				Phase: PhaseStats{
+					ScanNS:    d.Varint(),
+					CollNS:    d.Varint(),
+					OverlapNS: d.Varint(),
+					RoundNS:   d.Varint(),
+					FlushNS:   d.Varint(),
 				},
 			}, d.Err()
 		})
