@@ -1,0 +1,31 @@
+# Multi-stage build: static binaries into a distroless runtime image.
+# The image ships the serving binary plus the two drivers CI uses to test
+# what ships (reservoir-loadgen to ingest, reservoir-verify to replay-check
+# the sample byte-for-byte) — all three are small static Go binaries.
+#
+#   docker build -t reservoir-serve .
+#   docker run --rm -p 8080:8080 reservoir-serve
+#
+# See deploy/docker-compose.yml for a full 4-node cluster and
+# docs/OPERATIONS.md for the metrics the containers expose.
+FROM golang:1.24 AS build
+WORKDIR /src
+COPY go.mod ./
+COPY . .
+ENV CGO_ENABLED=0
+RUN go build -trimpath -ldflags="-s -w" -o /out/reservoir-serve ./cmd/reservoir-serve \
+ && go build -trimpath -ldflags="-s -w" -o /out/reservoir-loadgen ./cmd/reservoir-loadgen \
+ && go build -trimpath -ldflags="-s -w" -o /out/reservoir-verify ./cmd/reservoir-verify \
+ && mkdir -p /out/data
+
+FROM gcr.io/distroless/static-debian12:nonroot
+COPY --from=build /out/reservoir-serve /out/reservoir-loadgen /out/reservoir-verify /usr/local/bin/
+# Pre-create /data owned by nonroot so named volumes mounted there inherit
+# writable ownership (distroless has no shell to chown at runtime).
+COPY --from=build --chown=nonroot:nonroot /out/data /data
+USER nonroot
+# 8080: HTTP API (service mode) / rank-0 control API (node mode).
+# 9000: node-mode peer mesh.  9090: per-node /healthz + /metrics.
+EXPOSE 8080 9000 9090
+ENTRYPOINT ["/usr/local/bin/reservoir-serve"]
+CMD ["-addr", ":8080", "-log-format", "json"]

@@ -53,15 +53,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // -pprof: profiling endpoints on their own listener
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"reservoir/internal/metrics"
 	"reservoir/internal/service"
 	"reservoir/internal/store"
 )
@@ -70,6 +72,9 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (service and node mode; empty = off)")
 	quiet := flag.Bool("quiet", false, "disable run lifecycle logging")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	metricsAddr := flag.String("metrics", "", "node mode: serve GET /healthz and GET /metrics on this address on every rank (empty = off; service mode exposes /metrics on -addr)")
+	healthURL := flag.String("healthcheck", "", "probe the given URL and exit 0 on HTTP 2xx, 1 otherwise (container healthchecks; no server is started)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown deadline")
 	queue := flag.Int("queue", 0, "default per-run ingest queue depth (0 = built-in default)")
 	data := flag.String("data", "", "persistence directory (empty = in-memory only)")
@@ -95,9 +100,29 @@ func main() {
 	faultDelayNS := flag.Duration("fault-delay-ns", time.Millisecond, "node mode: latency charged per injected delay")
 	flag.Parse()
 
-	logf := log.New(os.Stderr, "reservoir-serve: ", log.LstdFlags).Printf
-	if *quiet {
-		logf = func(string, ...any) {}
+	if *healthURL != "" {
+		// Probe mode for distroless containers (no shell, no curl): the
+		// image's own binary doubles as the compose/k8s health command.
+		os.Exit(probe(*healthURL))
+	}
+
+	logger := buildLogger(*logFormat, *quiet)
+
+	// Kubernetes-friendly fallbacks: a StatefulSet derives each pod's rank
+	// from its pod index and ships it via the environment, where flags in
+	// a shared pod template cannot differ per replica.
+	if *peers == "" {
+		*peers = os.Getenv("RESERVOIR_PEERS")
+	}
+	if *peerID < 0 {
+		if v := os.Getenv("RESERVOIR_PEER_ID"); v != "" {
+			id, err := strconv.Atoi(v)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reservoir-serve: RESERVOIR_PEER_ID=%q: %v\n", v, err)
+				os.Exit(2)
+			}
+			*peerID = id
+		}
 	}
 
 	if *pprofAddr != "" {
@@ -105,9 +130,9 @@ func main() {
 		// serve that mux on its own listener so profiling never shares a
 		// port (or an auth story) with the service or control API.
 		go func() {
-			logf("pprof on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				logf("pprof server: %v", err)
+				logger.Error("pprof server failed", "err", err)
 			}
 		}()
 	}
@@ -147,7 +172,8 @@ func main() {
 			fsync:      *fsync,
 			fsyncEvery: *fsyncEvery,
 			fault:      fault,
-			logf:       logf,
+			metrics:    *metricsAddr,
+			log:        logger,
 		})
 		return
 	}
@@ -156,7 +182,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := []service.Option{service.WithLogger(logf)}
+	reg := metrics.NewRegistry()
+	opts := []service.Option{service.WithLogger(logger), service.WithMetrics(reg)}
 	if *queue > 0 {
 		opts = append(opts, service.WithQueueDepth(*queue))
 	}
@@ -171,7 +198,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 			os.Exit(2)
 		}
-		st, err = store.Open(*data, store.WithFsync(policy), store.WithFsyncInterval(*fsyncEvery))
+		st, err = store.Open(*data, store.WithFsync(policy), store.WithFsyncInterval(*fsyncEvery), store.WithMetrics(reg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 			os.Exit(1)
@@ -185,7 +212,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 			os.Exit(1)
 		}
-		logf("store %s open (fsync=%s), %d run(s) recovered", *data, *fsync, svc.RunCount())
+		logger.Info("store open", "dir", *data, "fsync", *fsync, "recovered_runs", svc.RunCount())
 	}
 	hs := &http.Server{
 		Addr:              *addr,
@@ -198,7 +225,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 
 	select {
 	case err := <-errc:
@@ -207,7 +234,7 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	logf("shutting down (draining for up to %s)", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	svc.Close() // end SSE streams, stop workers, write final checkpoints
 	if st != nil {
 		if err := st.Close(); err != nil {
@@ -220,5 +247,40 @@ func main() {
 		fmt.Fprintln(os.Stderr, "reservoir-serve: shutdown:", err)
 		os.Exit(1)
 	}
-	logf("bye")
+	logger.Info("bye")
+}
+
+// buildLogger assembles the process logger from the -log-format and
+// -quiet flags. Everything below (service, nodesvc, transport) derives
+// component-scoped children from it.
+func buildLogger(format string, quiet bool) *slog.Logger {
+	if quiet {
+		return slog.New(slog.DiscardHandler)
+	}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fmt.Fprintf(os.Stderr, "reservoir-serve: -log-format must be text or json, got %q\n", format)
+		os.Exit(2)
+		return nil
+	}
+}
+
+// probe implements -healthcheck: one GET, exit status only.
+func probe(url string) int {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reservoir-serve: healthcheck:", err)
+		return 1
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		fmt.Fprintf(os.Stderr, "reservoir-serve: healthcheck: %s returned %s\n", url, resp.Status)
+		return 1
+	}
+	return 0
 }

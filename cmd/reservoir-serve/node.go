@@ -2,13 +2,17 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"reservoir"
+	"reservoir/internal/metrics"
 	"reservoir/internal/nodesvc"
 	"reservoir/internal/store"
 	"reservoir/internal/transport"
@@ -33,7 +37,8 @@ type nodeConfig struct {
 	fsync      string
 	fsyncEvery time.Duration
 	fault      faultConfig
-	logf       func(string, ...any)
+	metrics    string // ops listen address for /healthz + /metrics ("" = off)
+	log        *slog.Logger
 }
 
 // faultConfig collects the fault-injection flags (deterministic chaos
@@ -52,6 +57,11 @@ func (f faultConfig) active() bool {
 // a restarted node to roll back to whichever round boundary the
 // survivors agree on (the lockstep rounds keep the spread ≤ 1).
 const snapshotRetention = 4
+
+// signalGrace bounds how long a signalled node may keep unwinding before
+// the process force-exits — under docker/k8s defaults (10s/30s before
+// SIGKILL) the node must die on its own to log that it did.
+const signalGrace = 8 * time.Second
 
 // runNode turns this process into one PE of a multi-process cluster: dial
 // the TCP mesh, then serve (rank 0) or follow (other ranks) until the
@@ -82,6 +92,7 @@ func runNode(cfg nodeConfig) {
 		os.Exit(2)
 	}
 
+	reg := metrics.NewRegistry()
 	var st *store.Store
 	if cfg.data != "" {
 		policy, err := store.ParseFsyncPolicy(cfg.fsync)
@@ -92,7 +103,8 @@ func runNode(cfg nodeConfig) {
 		st, err = store.Open(cfg.data,
 			store.WithFsync(policy),
 			store.WithFsyncInterval(cfg.fsyncEvery),
-			store.WithSnapshotRetention(snapshotRetention))
+			store.WithSnapshotRetention(snapshotRetention),
+			store.WithMetrics(reg))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 			os.Exit(1)
@@ -100,13 +112,13 @@ func runNode(cfg nodeConfig) {
 		defer st.Close()
 	}
 
-	cfg.logf("node %d/%d forming cluster (%s)", cfg.peerID, len(cfg.peers), cfg.algo)
+	cfg.log.Info("forming cluster", "rank", cfg.peerID, "p", len(cfg.peers), "algo", cfg.algo)
 	tr, err := tcpnet.Dial(tcpnet.Config{
 		Rank:             cfg.peerID,
 		Peers:            cfg.peers,
 		FormationTimeout: cfg.formation,
 		RejoinTimeout:    cfg.rejoin,
-		Logf:             cfg.logf,
+		Log:              cfg.log,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
@@ -114,10 +126,13 @@ func runNode(cfg nodeConfig) {
 	}
 	defer tr.Close()
 
+	registerTransportMetrics(reg, tr, cfg.peerID, len(cfg.peers))
+
 	var conn transport.Conn = tr
 	if cfg.fault.active() {
-		cfg.logf("node %d: fault injection on (seed=%d drop=%g dup=%g corrupt=%g delay=%g)",
-			cfg.peerID, cfg.fault.seed, cfg.fault.drop, cfg.fault.dup, cfg.fault.corrupt, cfg.fault.delay)
+		cfg.log.Info("fault injection on", "rank", cfg.peerID,
+			"seed", cfg.fault.seed, "drop", cfg.fault.drop, "dup", cfg.fault.dup,
+			"corrupt", cfg.fault.corrupt, "delay", cfg.fault.delay)
 		conn = faultnet.New(tr, faultnet.Config{
 			Seed:      cfg.fault.seed,
 			Drop:      cfg.fault.drop,
@@ -138,11 +153,30 @@ func runNode(cfg nodeConfig) {
 		Algorithm: algo,
 		Addr:      cfg.addr,
 		Store:     st,
-		Logf:      cfg.logf,
+		Log:       cfg.log,
+		Metrics:   reg,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 		os.Exit(1)
+	}
+
+	if cfg.metrics != "" {
+		// Every rank serves its own readiness and local metrics — rank 0's
+		// control API duplicates both, but followers have no other HTTP
+		// surface, and k8s probes each pod individually.
+		ops := &http.Server{
+			Addr:              cfg.metrics,
+			Handler:           srv.OpsHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			cfg.log.Info("ops listening", "rank", cfg.peerID, "addr", cfg.metrics)
+			if err := ops.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				cfg.log.Error("ops server failed", "rank", cfg.peerID, "err", err)
+			}
+		}()
+		defer ops.Close()
 	}
 
 	// Graceful cluster shutdown flows through the root's control API (the
@@ -153,13 +187,49 @@ func runNode(cfg nodeConfig) {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sigc
-		cfg.logf("node %d: signal received; closing transport (use POST /v1/cluster/shutdown on rank 0 for a clean stop)", cfg.peerID)
+		cfg.log.Info("signal received; closing transport (use POST /v1/cluster/shutdown on rank 0 for a clean stop)", "rank", cfg.peerID)
 		tr.Close()
+		// Ranks blocked in a collective unblock immediately, but an idle
+		// rank 0 waits on its command queue, which a transport close does
+		// not wake. Signals must terminate within a container runtime's
+		// stop grace period, so force the issue after ours.
+		time.Sleep(signalGrace)
+		cfg.log.Error("run did not unwind after transport close; exiting", "rank", cfg.peerID)
+		os.Exit(1)
 	}()
 
 	if err := srv.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "reservoir-serve:", err)
 		os.Exit(1)
 	}
-	cfg.logf("node %d: bye", cfg.peerID)
+	cfg.log.Info("bye", "rank", cfg.peerID)
+}
+
+// registerTransportMetrics exposes the live per-peer tcpnet counters as
+// scrape-time Func instruments: zero hot-path cost beyond the atomics the
+// transport already maintains. The self row is skipped (always zero).
+func registerTransportMetrics(reg *metrics.Registry, tr *tcpnet.Transport, rank, p int) {
+	peerLabel := []string{"peer"}
+	for peer := 0; peer < p; peer++ {
+		if peer == rank {
+			continue
+		}
+		pe := peer
+		lv := []string{strconv.Itoa(pe)}
+		reg.CounterFunc("reservoir_transport_messages_total",
+			"Data-plane messages sent to the peer.", peerLabel, lv,
+			func() float64 { return float64(tr.PeerStats()[pe].Messages) })
+		reg.CounterFunc("reservoir_transport_words_total",
+			"Cost-model words sent to the peer.", peerLabel, lv,
+			func() float64 { return float64(tr.PeerStats()[pe].Words) })
+		reg.CounterFunc("reservoir_transport_bytes_total",
+			"Framed wire bytes sent to the peer (coalesced frames included).", peerLabel, lv,
+			func() float64 { return float64(tr.PeerStats()[pe].Bytes) })
+		reg.CounterFunc("reservoir_transport_retries_total",
+			"Redial attempts toward the peer after a connection loss.", peerLabel, lv,
+			func() float64 { return float64(tr.PeerStats()[pe].Retries) })
+	}
+	reg.CounterFunc("reservoir_transport_flush_seconds_total",
+		"Cumulative wall time spent in coalesced flushes.", nil, nil,
+		func() float64 { return float64(tr.FlushNS()) / 1e9 })
 }

@@ -1,0 +1,566 @@
+// Package metrics is a small, dependency-free metrics registry that
+// renders the Prometheus text exposition format (version 0.0.4).
+//
+// It exists because the repo has a zero-dependency policy: we cannot
+// vendor client_golang, but the operations surface (ISSUE 10, ROADMAP
+// "Production operations surface") needs counters, gauges and
+// histograms with labels served over GET /metrics.
+//
+// Design notes:
+//
+//   - A Registry holds families (one per metric name). A family fixes
+//     the metric type, help text and label-name schema at registration
+//     time; registering the same name with a different type or label
+//     set is an error. This is the "unregistered-label drift" guard the
+//     metrics-contract CI check relies on.
+//   - Series (one per label-value combination) are created lazily and
+//     are safe for concurrent use. Counters and gauges are a single
+//     atomic uint64 holding float bits; histograms keep atomic bucket
+//     counts plus sum/count.
+//   - Func variants (GaugeFunc/CounterFunc) read a callback at scrape
+//     time — used to expose values that already live in hot-path
+//     atomics (e.g. tcpnet per-peer byte counters) without double
+//     accounting.
+//   - Output is deterministic: families sorted by name, series sorted
+//     by label values. That keeps golden tests and scrape diffs stable.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Type enumerates the exposition metric types we support.
+type Type string
+
+const (
+	TypeCounter   Type = "counter"
+	TypeGauge     Type = "gauge"
+	TypeHistogram Type = "histogram"
+)
+
+// ContentType is the Content-Type for the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Registry is a set of metric families. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+type family struct {
+	name       string
+	help       string
+	typ        Type
+	labelNames []string
+	buckets    []float64 // histograms only
+
+	mu     sync.Mutex
+	series map[string]*series // key: canonical label-value key
+}
+
+type series struct {
+	labelValues []string
+
+	// scalar storage (counter/gauge)
+	bits atomic.Uint64
+
+	// callback storage (Func variants); nil for regular series
+	fn func() float64
+
+	// histogram storage; nil for scalars
+	hist *histState
+}
+
+type histState struct {
+	bucketCounts []atomic.Uint64 // one per bucket (exclusive of +Inf)
+	count        atomic.Uint64
+	sumBits      atomic.Uint64
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// register creates or fetches a family, enforcing schema consistency.
+func (r *Registry) register(name, help string, typ Type, labelNames []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	for _, ln := range labelNames {
+		if !validLabelName(ln) {
+			panic(fmt.Sprintf("metrics: invalid label name %q on %q", ln, name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ {
+			panic(fmt.Sprintf("metrics: %q re-registered as %s, was %s", name, typ, f.typ))
+		}
+		if !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("metrics: %q re-registered with labels %v, was %v", name, labelNames, f.labelNames))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		typ:        typ,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		series:     make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func seriesKey(values []string) string {
+	// \xff never appears in valid UTF-8 label text positions we care
+	// about distinguishing; good enough as a separator for map keys.
+	return strings.Join(values, "\xff")
+}
+
+func (f *family) getSeries(labelValues []string) *series {
+	if len(labelValues) != len(f.labelNames) {
+		panic(fmt.Sprintf("metrics: %q wants %d label values, got %d", f.name, len(f.labelNames), len(labelValues)))
+	}
+	key := seriesKey(labelValues)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), labelValues...)}
+	if f.typ == TypeHistogram {
+		s.hist = &histState{bucketCounts: make([]atomic.Uint64, len(f.buckets))}
+	}
+	f.series[key] = s
+	return s
+}
+
+func (f *family) setFunc(labelValues []string, fn func() float64) {
+	s := f.getSeries(labelValues)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ s *series }
+
+// Add increments the counter by v (v must be >= 0; negative deltas are
+// silently dropped to keep the series monotone).
+func (c *Counter) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	addFloat(&c.s.bits, v)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current value (for tests).
+func (c *Counter) Value() float64 { return math.Float64frombits(c.s.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ s *series }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add increments (or decrements, for negative v) the gauge.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	addFloat(&g.s.bits, v)
+}
+
+// Value returns the current value (for tests).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.bits.Load()) }
+
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Histogram accumulates observations into cumulative buckets.
+type Histogram struct {
+	s       *series
+	buckets []float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	st := h.s.hist
+	// Buckets are cumulative in exposition, but we store per-bucket
+	// increments on the first bucket whose bound >= v and sum at render
+	// time; that keeps Observe to two atomic ops plus a search.
+	//
+	// count is bumped BEFORE the bucket: the renderer reads buckets
+	// first and count after, so with seq-cst atomics any bucket
+	// increment it observes has its count increment visible too, and
+	// the +Inf bucket (rendered from count) stays >= the finite
+	// cumulative counts even mid-scrape.
+	st.count.Add(1)
+	i := sort.SearchFloat64s(h.buckets, v)
+	if i < len(st.bucketCounts) {
+		st.bucketCounts[i].Add(1)
+	}
+	addFloat(&st.sumBits, v)
+}
+
+// Sum returns the running sum of observations (for tests).
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.s.hist.sumBits.Load()) }
+
+// Count returns the number of observations (for tests).
+func (h *Histogram) Count() uint64 { return h.s.hist.count.Load() }
+
+// NewCounter registers (or fetches) a counter family and returns the
+// series for the given label values.
+func (r *Registry) NewCounter(name, help string, labelNames []string, labelValues ...string) *Counter {
+	f := r.register(name, help, TypeCounter, labelNames, nil)
+	return &Counter{s: f.getSeries(labelValues)}
+}
+
+// NewGauge registers (or fetches) a gauge family and returns the
+// series for the given label values.
+func (r *Registry) NewGauge(name, help string, labelNames []string, labelValues ...string) *Gauge {
+	f := r.register(name, help, TypeGauge, labelNames, nil)
+	return &Gauge{s: f.getSeries(labelValues)}
+}
+
+// NewHistogram registers (or fetches) a histogram family with the
+// given upper bounds (must be sorted ascending, +Inf implicit) and
+// returns the series for the given label values.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labelNames []string, labelValues ...string) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("metrics: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if !(buckets[i] > buckets[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	f := r.register(name, help, TypeHistogram, labelNames, append([]float64(nil), buckets...))
+	if !equalFloats(f.buckets, buckets) {
+		panic(fmt.Sprintf("metrics: histogram %q re-registered with different buckets", name))
+	}
+	return &Histogram{s: f.getSeries(labelValues), buckets: f.buckets}
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. Useful for exposing values already maintained as atomics on
+// hot paths.
+func (r *Registry) GaugeFunc(name, help string, labelNames []string, labelValues []string, fn func() float64) {
+	f := r.register(name, help, TypeGauge, labelNames, nil)
+	f.setFunc(labelValues, fn)
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time. fn must be monotone non-decreasing.
+func (r *Registry) CounterFunc(name, help string, labelNames []string, labelValues []string, fn func() float64) {
+	f := r.register(name, help, TypeCounter, labelNames, nil)
+	f.setFunc(labelValues, fn)
+}
+
+// Unregister removes every series of every family whose label values
+// match pred for the given label name. Used to drop per-run series
+// when a run is deleted so cardinality does not grow without bound.
+func (r *Registry) Unregister(labelName, labelValue string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, f := range r.families {
+		idx := -1
+		for i, ln := range f.labelNames {
+			if ln == labelName {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			continue
+		}
+		f.mu.Lock()
+		for key, s := range f.series {
+			if s.labelValues[idx] == labelValue {
+				delete(f.series, key)
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, spanning
+// 100µs .. 10s. Round latencies at batch=50k land in the ms range;
+// fsync latencies in the 100µs–10ms range.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// PctBuckets are buckets for percentage-valued histograms (0..100).
+var PctBuckets = []float64{0, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 95, 100}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\n\"") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '"':
+			b.WriteString(`\"`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the registry in Prometheus text format 0.0.4.
+func (r *Registry) WriteText(w *strings.Builder) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	for _, f := range fams {
+		f.render(w)
+	}
+}
+
+// Expose returns the full exposition as a string.
+func (r *Registry) Expose() string {
+	var b strings.Builder
+	r.WriteText(&b)
+	return b.String()
+}
+
+// Handler returns an http.Handler serving the exposition at GET.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		body := r.Expose()
+		w.Header().Set("Content-Type", ContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		if req.Method == http.MethodHead {
+			return
+		}
+		_, _ = w.Write([]byte(body))
+	})
+}
+
+func (f *family) render(w *strings.Builder) {
+	f.mu.Lock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	type snap struct {
+		labelValues []string
+		value       float64
+		buckets     []uint64 // cumulative, histograms only
+		count       uint64
+		sum         float64
+	}
+	snaps := make([]snap, 0, len(keys))
+	for _, k := range keys {
+		s := f.series[k]
+		sn := snap{labelValues: s.labelValues}
+		switch {
+		case s.hist != nil:
+			sn.buckets = make([]uint64, len(f.buckets))
+			var cum uint64
+			for i := range f.buckets {
+				cum += s.hist.bucketCounts[i].Load()
+				sn.buckets[i] = cum
+			}
+			sn.count = s.hist.count.Load()
+			sn.sum = math.Float64frombits(s.hist.sumBits.Load())
+		case s.fn != nil:
+			sn.value = s.fn()
+		default:
+			sn.value = math.Float64frombits(s.bits.Load())
+		}
+		snaps = append(snaps, sn)
+	}
+	f.mu.Unlock()
+
+	if len(snaps) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, sn := range snaps {
+		if f.typ == TypeHistogram {
+			for i, ub := range f.buckets {
+				w.WriteString(f.name)
+				w.WriteString("_bucket")
+				f.renderLabels(w, sn.labelValues, formatFloat(ub))
+				fmt.Fprintf(w, " %d\n", sn.buckets[i])
+			}
+			w.WriteString(f.name)
+			w.WriteString("_bucket")
+			f.renderLabels(w, sn.labelValues, "+Inf")
+			fmt.Fprintf(w, " %d\n", sn.count)
+			w.WriteString(f.name)
+			w.WriteString("_sum")
+			f.renderLabels(w, sn.labelValues, "")
+			fmt.Fprintf(w, " %s\n", formatFloat(sn.sum))
+			w.WriteString(f.name)
+			w.WriteString("_count")
+			f.renderLabels(w, sn.labelValues, "")
+			fmt.Fprintf(w, " %d\n", sn.count)
+		} else {
+			w.WriteString(f.name)
+			f.renderLabels(w, sn.labelValues, "")
+			fmt.Fprintf(w, " %s\n", formatFloat(sn.value))
+		}
+	}
+}
+
+// renderLabels writes {k="v",...} including the le label when
+// leValue is nonempty.
+func (f *family) renderLabels(w *strings.Builder, values []string, leValue string) {
+	if len(f.labelNames) == 0 && leValue == "" {
+		return
+	}
+	w.WriteByte('{')
+	first := true
+	for i, ln := range f.labelNames {
+		if !first {
+			w.WriteByte(',')
+		}
+		first = false
+		w.WriteString(ln)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(values[i]))
+		w.WriteByte('"')
+	}
+	if leValue != "" {
+		if !first {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="`)
+		w.WriteString(leValue)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}

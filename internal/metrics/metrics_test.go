@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("reservoir_test_items_total", "items", []string{"run"}, "r1")
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // dropped: counters are monotone
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %g, want 4", got)
+	}
+	g := r.NewGauge("reservoir_test_depth", "depth", nil)
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %g, want 5", got)
+	}
+}
+
+// TestHistogramBuckets checks cumulative bucket correctness against
+// known latency samples (satellite: "histogram bucket correctness
+// against known latency samples").
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	buckets := []float64{0.001, 0.01, 0.1, 1}
+	h := r.NewHistogram("reservoir_test_round_seconds", "round latency", buckets, nil)
+	samples := []float64{0.0005, 0.001, 0.0015, 0.05, 0.05, 0.5, 2, 3}
+	for _, s := range samples {
+		h.Observe(s)
+	}
+	// Expected cumulative counts: le=0.001 → {0.0005, 0.001} = 2;
+	// le=0.01 → +0.0015 = 3; le=0.1 → +0.05×2 = 5; le=1 → +0.5 = 6;
+	// +Inf → 8.
+	want := map[string]float64{
+		"0.001": 2, "0.01": 3, "0.1": 5, "1": 6, "+Inf": 8,
+	}
+	fams, err := Parse(r.Expose())
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	f := fams["reservoir_test_round_seconds"]
+	if f == nil {
+		t.Fatal("family missing")
+	}
+	got := map[string]float64{}
+	var sum, count float64
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			got[s.Labels["le"]] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		}
+	}
+	for le, wantCum := range want {
+		if got[le] != wantCum {
+			t.Errorf("bucket le=%s = %g, want %g", le, got[le], wantCum)
+		}
+	}
+	var wantSum float64
+	for _, s := range samples {
+		wantSum += s
+	}
+	if math.Abs(sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %g, want %g", sum, wantSum)
+	}
+	if count != float64(len(samples)) {
+		t.Errorf("count = %g, want %d", count, len(samples))
+	}
+}
+
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reservoir_ingest_items_total", "Items accepted.", []string{"run"}, "b").Add(2)
+	r.NewCounter("reservoir_ingest_items_total", "Items accepted.", []string{"run"}, "a").Add(1)
+	r.NewGauge("reservoir_queue_depth", "Queue depth.", []string{"run"}, `x"y\z`).Set(3)
+	h := r.NewHistogram("reservoir_round_seconds", "Round latency.", []float64{0.5, 1}, nil)
+	h.Observe(0.25)
+	h.Observe(2)
+	want := `# HELP reservoir_ingest_items_total Items accepted.
+# TYPE reservoir_ingest_items_total counter
+reservoir_ingest_items_total{run="a"} 1
+reservoir_ingest_items_total{run="b"} 2
+# HELP reservoir_queue_depth Queue depth.
+# TYPE reservoir_queue_depth gauge
+reservoir_queue_depth{run="x\"y\\z"} 3
+# HELP reservoir_round_seconds Round latency.
+# TYPE reservoir_round_seconds histogram
+reservoir_round_seconds_bucket{le="0.5"} 1
+reservoir_round_seconds_bucket{le="1"} 1
+reservoir_round_seconds_bucket{le="+Inf"} 2
+reservoir_round_seconds_sum 2.25
+reservoir_round_seconds_count 2
+`
+	if got := r.Expose(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRoundTripOwnOutput(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reservoir_a_total", "a", nil).Inc()
+	r.GaugeFunc("reservoir_b", "b", []string{"peer"}, []string{"1"}, func() float64 { return 42 })
+	r.NewHistogram("reservoir_c_seconds", "c", DefBuckets, []string{"run"}, "z").Observe(0.003)
+	if _, err := Lint(r.Expose()); err != nil {
+		t.Fatalf("own output fails lint: %v", err)
+	}
+}
+
+func TestParserRejects(t *testing.T) {
+	cases := map[string]string{
+		"no help":        "reservoir_x_total 1\n",
+		"type sans help": "# TYPE reservoir_x_total counter\nreservoir_x_total 1\n",
+		"bad type":       "# HELP reservoir_x_total x\n# TYPE reservoir_x_total summary\n",
+		"dup series":     "# HELP reservoir_x_total x\n# TYPE reservoir_x_total counter\nreservoir_x_total 1\nreservoir_x_total 2\n",
+		"bad name":       "# HELP 9bad x\n# TYPE 9bad counter\n",
+		"bad label":      "# HELP reservoir_x_total x\n# TYPE reservoir_x_total counter\nreservoir_x_total{__n=\"v\"} 1\n",
+		"unterminated":   "# HELP reservoir_x_total x\n# TYPE reservoir_x_total counter\nreservoir_x_total{a=\"v} 1\n",
+		"inf mismatch": "# HELP reservoir_h h\n# TYPE reservoir_h histogram\n" +
+			"reservoir_h_bucket{le=\"1\"} 1\nreservoir_h_bucket{le=\"+Inf\"} 3\n" +
+			"reservoir_h_sum 1\nreservoir_h_count 2\n",
+		"shrinking cumulative": "# HELP reservoir_h h\n# TYPE reservoir_h histogram\n" +
+			"reservoir_h_bucket{le=\"1\"} 5\nreservoir_h_bucket{le=\"2\"} 3\nreservoir_h_bucket{le=\"+Inf\"} 6\n" +
+			"reservoir_h_sum 1\nreservoir_h_count 6\n",
+		"missing sum": "# HELP reservoir_h h\n# TYPE reservoir_h histogram\n" +
+			"reservoir_h_bucket{le=\"+Inf\"} 1\nreservoir_h_count 1\n",
+	}
+	for name, body := range cases {
+		if _, err := Parse(body); err == nil {
+			t.Errorf("%s: parser accepted malformed input", name)
+		}
+	}
+}
+
+func TestLintConventions(t *testing.T) {
+	if _, err := Lint("# HELP foo_x x\n# TYPE foo_x gauge\nfoo_x 1\n"); err == nil {
+		t.Error("lint accepted non-reservoir prefix")
+	}
+	if _, err := Lint("# HELP reservoir_x x\n# TYPE reservoir_x counter\nreservoir_x 1\n"); err == nil {
+		t.Error("lint accepted counter without _total")
+	}
+}
+
+func TestSchemaDriftPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reservoir_x_total", "x", []string{"run"}, "a")
+	mustPanic(t, "type drift", func() { r.NewGauge("reservoir_x_total", "x", []string{"run"}, "a") })
+	mustPanic(t, "label drift", func() { r.NewCounter("reservoir_x_total", "x", []string{"peer"}, "a") })
+	mustPanic(t, "arity drift", func() { r.NewCounter("reservoir_x_total", "x", []string{"run"}) })
+	r.NewHistogram("reservoir_h_seconds", "h", []float64{1, 2}, nil)
+	mustPanic(t, "bucket drift", func() { r.NewHistogram("reservoir_h_seconds", "h", []float64{1, 3}, nil) })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reservoir_x_total", "x", []string{"run"}, "keep").Inc()
+	r.NewCounter("reservoir_x_total", "x", []string{"run"}, "drop").Inc()
+	r.NewHistogram("reservoir_h_seconds", "h", []float64{1}, []string{"run"}, "drop").Observe(0.5)
+	r.Unregister("run", "drop")
+	out := r.Expose()
+	if strings.Contains(out, `run="drop"`) {
+		t.Fatalf("dropped series still exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `run="keep"`) {
+		t.Fatalf("kept series missing:\n%s", out)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("reservoir_x_total", "x", nil).Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); ct != ContentType {
+		t.Fatalf("content-type = %q", ct)
+	}
+	res2, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Body.Close()
+	if res2.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", res2.StatusCode)
+	}
+}
+
+// TestConcurrentScrape hammers every series type from many goroutines
+// while scraping; run under -race this is the package-level half of the
+// scrape-during-ingest satellite.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.NewCounter("reservoir_x_total", "x", []string{"w"}, fmt.Sprint(i))
+			g := r.NewGauge("reservoir_g", "g", []string{"w"}, fmt.Sprint(i))
+			h := r.NewHistogram("reservoir_h_seconds", "h", DefBuckets, []string{"w"}, fmt.Sprint(i))
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(float64(j))
+				h.Observe(float64(j%100) / 1000)
+			}
+		}(i)
+	}
+	for k := 0; k < 50; k++ {
+		if _, err := Parse(r.Expose()); err != nil {
+			t.Errorf("scrape %d: %v", k, err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,356 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements a strict parser for the Prometheus text
+// exposition format (0.0.4). It is the fixture behind the
+// metrics-contract CI check: every /metrics surface in the repo is
+// scraped in a test and must round-trip through Parse without errors.
+// The parser deliberately rejects more than Prometheus itself would
+// (duplicate series, TYPE after samples, histogram bucket
+// inconsistencies) so drift is caught at lint time, not on a dashboard.
+
+// Sample is one parsed series sample.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    Type
+	Samples []Sample
+}
+
+// Parse parses a full exposition body, validating structure. It
+// returns families keyed by name.
+func Parse(body string) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	var cur *Family
+	seen := make(map[string]bool) // duplicate-series guard: name + canonical labels
+	lineNo := 0
+	for _, line := range strings.Split(body, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			if f, ok := families[name]; ok && len(f.Samples) > 0 {
+				return nil, fmt.Errorf("line %d: HELP for %s after samples", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			families[name] = cur
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			f, exists := families[name]
+			if !exists || f.Help == "" {
+				return nil, fmt.Errorf("line %d: TYPE %s without preceding HELP", lineNo, name)
+			}
+			if f.Type != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			switch Type(typ) {
+			case TypeCounter, TypeGauge, TypeHistogram:
+				f.Type = Type(typ)
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			cur = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := baseName(s.Name)
+		f, ok := families[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %s without HELP/TYPE", lineNo, s.Name)
+		}
+		if f.Type == "" {
+			return nil, fmt.Errorf("line %d: sample %s before TYPE", lineNo, s.Name)
+		}
+		if f.Type != TypeHistogram && s.Name != base {
+			return nil, fmt.Errorf("line %d: suffix %s on non-histogram %s", lineNo, s.Name, base)
+		}
+		key := s.Name + "\xff" + canonicalLabels(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, s.Name)
+		}
+		seen[key] = true
+		f.Samples = append(f.Samples, s)
+	}
+	for _, f := range families {
+		if f.Type == "" {
+			return nil, fmt.Errorf("family %s: HELP without TYPE", f.Name)
+		}
+		if f.Type == TypeHistogram {
+			if err := checkHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+// baseName strips histogram suffixes.
+func baseName(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return name[:len(name)-len(suf)]
+		}
+	}
+	return name
+}
+
+func canonicalLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = line[:i]
+	if !validName(baseName(s.Name)) {
+		return s, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[i:]
+	if rest[0] == '{' {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, err
+		}
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	// value [timestamp] — we reject timestamps; nothing in this repo
+	// emits them.
+	if strings.Contains(rest, " ") {
+		return s, fmt.Errorf("unexpected trailing fields in %q", line)
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return s, err
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels parses a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(s string, out map[string]string) (int, error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label block")
+		}
+		if s[i] == '}' {
+			return i + 1, nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return 0, fmt.Errorf("malformed label block")
+		}
+		name := s[i : i+j]
+		if name != "le" && !validLabelName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("label value not quoted")
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, fmt.Errorf("unterminated label value")
+			}
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return 0, fmt.Errorf("dangling escape")
+				}
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, fmt.Errorf("bad escape \\%c", s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if _, dup := out[name]; dup {
+			return 0, fmt.Errorf("duplicate label %q", name)
+		}
+		out[name] = val.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// checkHistogram validates that every histogram series has monotone
+// cumulative buckets ending in a +Inf bucket that equals _count, and
+// that _sum/_count exist for every label combination.
+func checkHistogram(f *Family) error {
+	type hseries struct {
+		buckets  map[float64]float64 // le → cumulative count
+		sum      *float64
+		count    *float64
+		infCount *float64
+	}
+	bySeries := make(map[string]*hseries)
+	get := func(labels map[string]string) *hseries {
+		// Identity excludes le.
+		cp := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				cp[k] = v
+			}
+		}
+		key := canonicalLabels(cp)
+		h, ok := bySeries[key]
+		if !ok {
+			h = &hseries{buckets: map[float64]float64{}}
+			bySeries[key] = h
+		}
+		return h
+	}
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		h := get(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("%s: bucket without le label", f.Name)
+			}
+			ub, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", f.Name, le)
+			}
+			v := s.Value
+			if math.IsInf(ub, 1) {
+				h.infCount = &v
+			}
+			h.buckets[ub] = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			h.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			h.count = &v
+		default:
+			return fmt.Errorf("%s: bare sample %s inside histogram family", f.Name, s.Name)
+		}
+	}
+	for key, h := range bySeries {
+		if h.sum == nil || h.count == nil {
+			return fmt.Errorf("%s{%s}: missing _sum or _count", f.Name, key)
+		}
+		if h.infCount == nil {
+			return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		if *h.infCount != *h.count {
+			return fmt.Errorf("%s{%s}: +Inf bucket %g != count %g", f.Name, key, *h.infCount, *h.count)
+		}
+		ubs := make([]float64, 0, len(h.buckets))
+		for ub := range h.buckets {
+			ubs = append(ubs, ub)
+		}
+		sort.Float64s(ubs)
+		prev := math.Inf(-1)
+		prevCount := -1.0
+		for _, ub := range ubs {
+			if ub <= prev {
+				return fmt.Errorf("%s{%s}: buckets not strictly increasing", f.Name, key)
+			}
+			if h.buckets[ub] < prevCount {
+				return fmt.Errorf("%s{%s}: cumulative counts decrease at le=%g", f.Name, key, ub)
+			}
+			prev, prevCount = ub, h.buckets[ub]
+		}
+	}
+	return nil
+}
+
+// Lint parses body and additionally enforces repo conventions: every
+// family name must carry the reservoir_ prefix and counters must end
+// in _total (unless histogram/gauge). Returns parsed families on
+// success.
+func Lint(body string) (map[string]*Family, error) {
+	fams, err := Parse(body)
+	if err != nil {
+		return nil, err
+	}
+	for name, f := range fams {
+		if !strings.HasPrefix(name, "reservoir_") && !strings.HasPrefix(name, "go_") {
+			return nil, fmt.Errorf("family %s: missing reservoir_ prefix", name)
+		}
+		if f.Type == TypeCounter && !strings.HasSuffix(name, "_total") {
+			return nil, fmt.Errorf("counter %s: missing _total suffix", name)
+		}
+	}
+	return fams, nil
+}

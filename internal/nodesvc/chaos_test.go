@@ -9,7 +9,9 @@ package nodesvc
 // with real OS processes in CI.
 
 import (
+	"bytes"
 	"encoding/json"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -29,18 +31,29 @@ type chaosNode struct {
 	dir  string
 	tr   *tcpnet.Transport
 	st   *store.Store
+	srv  *Server
 	err  chan error // Run's result
+	// formedAtBoot records Formed() right after New, before Run could
+	// resync: true for a fresh node, false for one rejoining from disk —
+	// the readiness window the /healthz gate exists for.
+	formedAtBoot bool
 }
 
-func tlogf(t *testing.T) func(string, ...any) {
-	start := time.Now()
-	return func(f string, args ...any) {
-		t.Logf("[%7.3fs] "+f, append([]any{time.Since(start).Seconds()}, args...)...)
-	}
+// tlog routes slog output from transports and node servers onto the
+// test log, one line per record.
+func tlog(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(tlogWriter{t}, &slog.HandlerOptions{}))
+}
+
+type tlogWriter struct{ t *testing.T }
+
+func (w tlogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
 }
 
 type chaosCluster struct {
-	logf    func(string, ...any)
+	log     *slog.Logger
 	t       *testing.T
 	peers   []string
 	cfg     reservoir.Config
@@ -69,7 +82,7 @@ func startChaosCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir
 		t.Fatal(err)
 	}
 	c := &chaosCluster{
-		t: t, logf: tlogf(t), peers: peers, cfg: cfg, algo: algo,
+		t: t, log: tlog(t), peers: peers, cfg: cfg, algo: algo,
 		ctrl: ctrl, ctrlAdr: "http://" + ctrl.Addr().String(),
 		nodes: make([]*chaosNode, p),
 	}
@@ -111,13 +124,13 @@ func (c *chaosCluster) launch(rank int, ln net.Listener, dir string) {
 	tr, err := tcpnet.Dial(tcpnet.Config{
 		Rank: rank, Peers: c.peers, Listener: ln,
 		FormationTimeout: 30 * time.Second, RejoinTimeout: chaosRejoin,
-		Logf: c.logf,
+		Log: c.log,
 	})
 	if err != nil {
 		c.t.Errorf("rank %d dial: %v", rank, err)
 		return
 	}
-	opts := Options{Conn: tr, Config: c.cfg, Algorithm: c.algo, Store: st, Logf: c.logf}
+	opts := Options{Conn: tr, Config: c.cfg, Algorithm: c.algo, Store: st, Log: c.log}
 	if rank == 0 {
 		opts.Listener = c.ctrl
 	}
@@ -126,7 +139,10 @@ func (c *chaosCluster) launch(rank int, ln net.Listener, dir string) {
 		c.t.Errorf("rank %d new: %v", rank, err)
 		return
 	}
-	n := &chaosNode{rank: rank, dir: dir, tr: tr, st: st, err: make(chan error, 1)}
+	n := &chaosNode{
+		rank: rank, dir: dir, tr: tr, st: st, srv: srv,
+		err: make(chan error, 1), formedAtBoot: srv.Formed(),
+	}
 	c.nodes[rank] = n
 	go func() { n.err <- srv.Run() }()
 }
@@ -233,11 +249,19 @@ func TestCrashRestartBetweenCommands(t *testing.T) {
 	// Cycle 1: kill node 2 while idle, restart, ingest more.
 	c.kill(2)
 	c.restart(2)
+	// A node rejoining from disk boots unready: its readiness gate must
+	// stay down until the resync commits (the /healthz 503 window).
+	if c.nodes[2].formedAtBoot {
+		t.Fatal("rejoining node reported formed before its resync")
+	}
 	if resp, data := c.post("/v1/cluster/rounds", spec(3), &st); resp.StatusCode != http.StatusOK {
 		t.Fatalf("rounds after restart 1: %s: %s", resp.Status, data)
 	}
 	if st.Rounds != 6 {
 		t.Fatalf("rounds = %d, want 6", st.Rounds)
+	}
+	if !c.nodes[2].srv.Formed() {
+		t.Fatal("rejoined node still unformed after serving rounds")
 	}
 
 	// Cycle 2: a different node.

@@ -1,0 +1,144 @@
+package nodesvc
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"reservoir"
+	"reservoir/internal/metrics"
+	"reservoir/internal/service"
+)
+
+// scrapeLint fetches url and runs the strict exposition parser plus the
+// repo's naming conventions — the same contract CI enforces.
+func scrapeLint(t *testing.T, url string) map[string]*metrics.Family {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.Lint(string(body))
+	if err != nil {
+		t.Fatalf("metrics contract violated: %v\n%s", err, body)
+	}
+	return fams
+}
+
+func histCount(fams map[string]*metrics.Family, name, labelKey, labelVal string) float64 {
+	f, ok := fams[name]
+	if !ok {
+		return -1
+	}
+	for _, s := range f.Samples {
+		if s.Name == name+"_count" && s.Labels[labelKey] == labelVal {
+			return s.Value
+		}
+	}
+	return -1
+}
+
+func gaugeValue(fams map[string]*metrics.Family, name string) (float64, bool) {
+	f, ok := fams[name]
+	if !ok || len(f.Samples) == 0 {
+		return 0, false
+	}
+	return f.Samples[0].Value, true
+}
+
+// TestNodeMetricsAndFormedGating boots a real 3-node cluster, checks the
+// readiness gate on /healthz, runs rounds, and verifies the control API's
+// and a follower's ops /metrics against the exposition contract.
+func TestNodeMetricsAndFormedGating(t *testing.T) {
+	const p, k, rounds, batch = 3, 32, 4, 200
+	cfg := reservoir.Config{K: k, Weighted: true, Seed: 99}
+	base, srvs, wait := startClusterServers(t, p, cfg, reservoir.Distributed)
+
+	// Fresh nodes are formed at boot: healthz says so with a 200.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz on a formed cluster: %d, want 200", resp.StatusCode)
+	}
+
+	// An unformed node must fail readiness with a 503 and formed=false.
+	// Rank 2's formed flag only feeds its health endpoint (a follower's
+	// collectives never consult it), so flipping it is safe mid-run.
+	srvs[2].formed.Store(false)
+	ops := httptest.NewServer(srvs[2].OpsHandler())
+	defer ops.Close()
+	resp, err = http.Get(ops.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+		Formed bool   `json:"formed"`
+		Rank   int    `json:"rank"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Formed || h.Status != "forming" {
+		t.Fatalf("unformed healthz = %d %+v, want 503 forming", resp.StatusCode, h)
+	}
+	if h.Rank != 2 {
+		t.Fatalf("ops healthz rank = %d, want 2", h.Rank)
+	}
+	srvs[2].formed.Store(true)
+
+	// Run rounds, then check the instruments moved.
+	resp2, data := postJSON(t, base+"/v1/cluster/rounds",
+		map[string]any{"synthetic": service.SyntheticSpec{BatchLen: batch, Rounds: rounds}})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("rounds: %s: %s", resp2.Status, data)
+	}
+
+	fams := scrapeLint(t, base+"/metrics")
+	if got := histCount(fams, "reservoir_node_round_duration_seconds", "rank", "0"); got != rounds {
+		t.Fatalf("rank 0 round histogram count = %g, want %d", got, rounds)
+	}
+	if v, ok := gaugeValue(fams, "reservoir_cluster_items_total"); !ok || v != float64(p*rounds*batch) {
+		t.Fatalf("cluster items = %g (present=%v), want %d", v, ok, p*rounds*batch)
+	}
+	if v, ok := gaugeValue(fams, "reservoir_cluster_network_bytes_total"); !ok || v <= 0 {
+		t.Fatalf("cluster network bytes = %g (present=%v), want > 0", v, ok)
+	}
+	if v, ok := gaugeValue(fams, "reservoir_cluster_formed"); !ok || v != 1 {
+		t.Fatalf("cluster_formed = %g (present=%v), want 1", v, ok)
+	}
+	if v, ok := gaugeValue(fams, "reservoir_cluster_rounds"); !ok || v != rounds {
+		t.Fatalf("cluster_rounds = %g (present=%v), want %d", v, ok, rounds)
+	}
+
+	// A follower's ops endpoint serves its local view: same round count,
+	// its own rank label, no cluster aggregates (those live on rank 0).
+	fams = scrapeLint(t, ops.URL+"/metrics")
+	if got := histCount(fams, "reservoir_node_round_duration_seconds", "rank", "2"); got != rounds {
+		t.Fatalf("rank 2 round histogram count = %g, want %d", got, rounds)
+	}
+	if _, ok := fams["reservoir_cluster_items_total"]; ok {
+		t.Fatal("follower metrics expose rank-0 cluster aggregates")
+	}
+
+	resp2, _ = postJSON(t, base+"/v1/cluster/shutdown", nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("shutdown: %s", resp2.Status)
+	}
+	wait()
+}

@@ -28,12 +28,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"reservoir"
+	"reservoir/internal/metrics"
 	"reservoir/internal/service"
 	"reservoir/internal/store"
 	"reservoir/internal/transport"
@@ -128,8 +131,13 @@ type Options struct {
 	// snapshot retention of at least 4 (store.WithSnapshotRetention) so
 	// a restarted node can roll back to the survivors' boundary.
 	Store *store.Store
-	// Logf receives lifecycle messages (default: silent).
-	Logf func(format string, args ...any)
+	// Log receives lifecycle messages (default: silent). The server adds
+	// component and rank attributes.
+	Log *slog.Logger
+	// Metrics optionally shares a registry with the caller (so transport
+	// instruments registered outside nodesvc appear on the same /metrics).
+	// Nil gets a private registry.
+	Metrics *metrics.Registry
 }
 
 // Stats is the GET /v1/cluster/stats (and POST rounds) response: the
@@ -211,7 +219,20 @@ type Server struct {
 	// runCfg carries the fields SyntheticSpec.BuildSource consults, so
 	// node-mode streams match single-process service streams exactly.
 	runCfg service.RunConfig
-	logf   func(string, ...any)
+	log    *slog.Logger
+
+	// formed flips to true once the node can serve collectives: at startup
+	// for a fresh node, after the initial resync for a rejoining one, and
+	// it dips back to false while a resync is in flight. Readiness probes
+	// (healthz) key off it so traffic never lands on a half-formed cluster.
+	formed atomic.Bool
+
+	// Prometheus instruments (nil-receiver-safe histograms/counters; the
+	// Func variants read live state at scrape time).
+	reg           *metrics.Registry
+	mRoundSeconds *metrics.Histogram
+	mOverlapPct   *metrics.Histogram
+	mResyncs      *metrics.Counter
 
 	// Fault tolerance and persistence (see resync.go / persist.go).
 	// ft is non-nil when the transport runs with recoverable faults;
@@ -236,19 +257,24 @@ type Server struct {
 
 // New creates this node's server over an established transport.
 func New(opts Options) (*Server, error) {
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := opts.Log
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	node, err := reservoir.NewNode(opts.Conn, opts.Config, reservoir.WithAlgorithm(opts.Algorithm))
 	if err != nil {
 		return nil, err
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
 	s := &Server{
 		opts:   opts,
 		node:   node,
 		runCfg: service.RunConfig{Seed: opts.Config.Seed, Uniform: !opts.Config.Weighted},
-		logf:   logf,
+		log:    logger.With("component", "nodesvc", "rank", node.Rank()),
+		reg:    reg,
 		st:     opts.Store,
 		cmds:   make(chan *pending),
 		done:   make(chan struct{}),
@@ -256,6 +282,7 @@ func New(opts Options) (*Server, error) {
 	if fc, ok := opts.Conn.(ftConn); ok && fc.FaultTolerant() {
 		s.ft = fc
 	}
+	s.registerMetrics()
 	if s.st != nil {
 		if s.ft == nil {
 			// Without the resync protocol there is no round-agreement
@@ -274,9 +301,68 @@ func New(opts Options) (*Server, error) {
 		if err := s.captureBoundary(nil); err != nil {
 			return nil, err
 		}
+		// A fresh node's mesh is already up (transport dialing completes
+		// before New); only a rejoining node must resync before serving.
+		s.formed.Store(true)
 	}
 	s.lastStat = s.snapshotLocked(reservoir.NetworkStats{}, reservoir.Counters{}, reservoir.PhaseStats{})
 	return s, nil
+}
+
+// Formed reports whether this node is ready to take part in collectives:
+// false on a rejoining node until its initial resync commits, and during
+// any later resync. Readiness probes key off it.
+func (s *Server) Formed() bool { return s.formed.Load() }
+
+// Metrics exposes the node's registry so callers (cmd wiring, tests) can
+// register additional instruments — e.g. per-peer transport counters —
+// on the same /metrics page.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// registerMetrics installs the node-level instruments. Everything cheap
+// to read is a Func variant sampled at scrape time; only the histograms
+// and the resync counter add writes to the serving path.
+func (s *Server) registerMetrics() {
+	rank := fmt.Sprintf("%d", s.node.Rank())
+	rankLabel := []string{"rank"}
+	s.mRoundSeconds = s.reg.NewHistogram("reservoir_node_round_duration_seconds",
+		"Wall time per completed cluster round on this node (boundary capture included).",
+		metrics.DefBuckets, rankLabel, rank)
+	s.mOverlapPct = s.reg.NewHistogram("reservoir_node_round_overlap_pct",
+		"Percent of a round's wall time the pipelined scan overlapped with the previous round's selection collectives.",
+		metrics.PctBuckets, rankLabel, rank)
+	s.mResyncs = s.reg.NewCounter("reservoir_node_resyncs_total",
+		"Completed fault-recovery resyncs this node took part in.", rankLabel, rank)
+	s.reg.GaugeFunc("reservoir_node_rounds", "Rounds this node has completed.",
+		rankLabel, []string{rank}, func() float64 { return float64(s.node.Round()) })
+	s.reg.GaugeFunc("reservoir_cluster_formed", "1 once the node is resynced and serving, 0 while forming.",
+		rankLabel, []string{rank}, func() float64 {
+			if s.formed.Load() {
+				return 1
+			}
+			return 0
+		})
+	if s.ft != nil {
+		s.reg.GaugeFunc("reservoir_node_epoch", "Transport epoch (bumped by every committed resync).",
+			rankLabel, []string{rank}, func() float64 { return float64(s.ft.Epoch()) })
+	}
+	if s.node.Rank() == 0 {
+		// Cluster-wide aggregates, published by the stats all-reduction
+		// after each command (lastStats is the cached copy — scraping
+		// never runs a collective).
+		s.reg.GaugeFunc("reservoir_cluster_rounds", "Cluster rounds as of the last completed command.",
+			nil, nil, func() float64 { return float64(s.lastStats().Rounds) })
+		s.reg.GaugeFunc("reservoir_cluster_sample_size", "Current global sample size.",
+			nil, nil, func() float64 { return float64(s.lastStats().SampleSize) })
+		s.reg.CounterFunc("reservoir_cluster_items_total", "Items processed cluster-wide.",
+			nil, nil, func() float64 { return float64(s.lastStats().ItemsProcessed) })
+		s.reg.CounterFunc("reservoir_cluster_network_messages_total", "Transport messages sent cluster-wide (all-reduced).",
+			nil, nil, func() float64 { return float64(s.lastStats().Network.Messages) })
+		s.reg.CounterFunc("reservoir_cluster_network_words_total", "Cost-model words sent cluster-wide (all-reduced).",
+			nil, nil, func() float64 { return float64(s.lastStats().Network.Words) })
+		s.reg.CounterFunc("reservoir_cluster_network_bytes_total", "Wire bytes sent cluster-wide (all-reduced).",
+			nil, nil, func() float64 { return float64(s.lastStats().Network.Bytes) })
+	}
 }
 
 // Run drives the node until the cluster shuts down. On rank 0 it serves
@@ -307,7 +393,7 @@ func (s *Server) runFollower() (err error) {
 			err = fmt.Errorf("nodesvc: rank %d: %v", s.node.Rank(), r)
 		}
 	}()
-	s.logf("nodesvc: rank %d/%d following", s.node.Rank(), s.node.P())
+	s.log.Info("following", "p", s.node.P())
 	if s.ft != nil && s.rejoining {
 		if err := s.followResync(true); err != nil {
 			return err
@@ -325,7 +411,7 @@ func (s *Server) runFollower() (err error) {
 			return fmt.Errorf("nodesvc: rank %d executing %q: %w", s.node.Rank(), cmd.Op, res.err)
 		}
 		if cmd.Op == opShutdown {
-			s.logf("nodesvc: rank %d shutting down", s.node.Rank())
+			s.log.Info("shutting down")
 			return nil
 		}
 	}
@@ -371,7 +457,7 @@ func (s *Server) runRoot() error {
 			serveFailed <- err // wake rootLoop: no frontend can submit commands anymore
 		}
 	}()
-	s.logf("nodesvc: rank 0/%d leading, control API on %s", s.node.P(), ln.Addr())
+	s.log.Info("leading", "p", s.node.P(), "addr", ln.Addr().String())
 
 	runErr := s.rootLoop(serveFailed)
 	close(s.done)
@@ -382,7 +468,7 @@ func (s *Server) runRoot() error {
 		hs.Close()
 	}
 	<-httpErr
-	s.logf("nodesvc: rank 0 shut down")
+	s.log.Info("shut down")
 	return runErr
 }
 
@@ -532,6 +618,8 @@ func (s *Server) execute(cmd command) result {
 			return result{err: fmt.Errorf("encoding synthetic spec: %w", err)}
 		}
 		for i := 0; i < rounds; i++ {
+			phase0 := s.node.PhaseStats()
+			roundStart := time.Now()
 			//lint:allow walorder -- node mode is apply-then-capture by design: captureBoundary logs the *completed* round as a restorable boundary, and recovery rolls the cluster back to the newest boundary every node can restore (DESIGN.md §2.5) — cluster redundancy, not write-ahead, is the durability contract here
 			s.node.ProcessRound(src)
 			// Every completed round becomes a restorable boundary
@@ -539,6 +627,12 @@ func (s *Server) execute(cmd command) result {
 			// checkpoint) — the recovery protocol's rollback grain.
 			if err := s.captureBoundary(specJSON); err != nil {
 				return result{err: err}
+			}
+			s.mRoundSeconds.Observe(time.Since(roundStart).Seconds())
+			// Overlap is measured against the sharded scan's own round
+			// clock (zero when pipelining is off — nothing to observe).
+			if d := s.node.PhaseStats(); d.RoundNS > phase0.RoundNS {
+				s.mOverlapPct.Observe(100 * float64(d.OverlapNS-phase0.OverlapNS) / float64(d.RoundNS-phase0.RoundNS))
 			}
 		}
 		if cmd.DeferStats {
@@ -650,18 +744,41 @@ func (s *Server) submit(cmd command) (result, bool) {
 	}
 }
 
+// handleHealth is the node's readiness probe, served on rank 0's control
+// API and on every rank's ops listener. It reports 503 with formed=false
+// until the node has (re)joined the cluster — a rejoining node is alive
+// but must not take traffic before its resync commits.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	formed := s.Formed()
+	status, code := "ok", http.StatusOK
+	if !formed {
+		status, code = "forming", http.StatusServiceUnavailable
+	}
+	service.WriteJSON(w, code, map[string]any{
+		"status": status,
+		"formed": formed,
+		"mode":   "cluster-node",
+		"rank":   s.node.Rank(),
+		"p":      s.node.P(),
+		"rounds": s.lastStats().Rounds,
+	})
+}
+
+// OpsHandler returns the per-node operational endpoints — GET /healthz
+// and GET /metrics — servable on every rank (rank 0's control API also
+// includes both). cmd/reservoir-serve binds it to the -metrics listener.
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
 // Handler returns rank 0's control API handler (exported for tests).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		service.WriteJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"mode":   "cluster-node",
-			"rank":   s.node.Rank(),
-			"p":      s.node.P(),
-			"rounds": s.lastStats().Rounds,
-		})
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("POST /v1/cluster/rounds", func(w http.ResponseWriter, r *http.Request) {
 		var req struct {
 			Synthetic *service.SyntheticSpec `json:"synthetic"`

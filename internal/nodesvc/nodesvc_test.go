@@ -26,6 +26,14 @@ import (
 // Run has returned, failing the test on any error.
 func startCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algorithm) (string, func()) {
 	t.Helper()
+	base, _, wait := startClusterServers(t, p, cfg, algo)
+	return base, wait
+}
+
+// startClusterServers is startCluster, also exposing the rank-indexed
+// server handles (the metrics tests scrape non-root ops handlers).
+func startClusterServers(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algorithm) (string, []*Server, func()) {
+	t.Helper()
 	ts, err := tcpnet.Loopback(p)
 	if err != nil {
 		t.Fatal(err)
@@ -35,6 +43,7 @@ func startCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algo
 		t.Fatal(err)
 	}
 	errs := make([]error, p)
+	srvs := make([]*Server, p)
 	var wg sync.WaitGroup
 	for i := 0; i < p; i++ {
 		opts := Options{Conn: ts[i], Config: cfg, Algorithm: algo}
@@ -45,6 +54,7 @@ func startCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algo
 		if err != nil {
 			t.Fatal(err)
 		}
+		srvs[i] = srv
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
@@ -69,7 +79,7 @@ func startCluster(t *testing.T, p int, cfg reservoir.Config, algo reservoir.Algo
 			tr.Close()
 		}
 	}
-	return base, wait
+	return base, srvs, wait
 }
 
 func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {

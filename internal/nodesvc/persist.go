@@ -95,7 +95,7 @@ func (s *Server) recoverPersisted(wantCfg []byte) error {
 		return fmt.Errorf("nodesvc: recovering node state: %w", err)
 	}
 	if rs.Warning != nil {
-		s.logf("nodesvc: rank %d: recovery warning: %v", s.node.Rank(), rs.Warning)
+		s.log.Warn("recovery warning", "err", rs.Warning)
 	}
 	var have, want nodeConfigJSON
 	if err := json.Unmarshal(rs.Config, &have); err != nil {
@@ -122,7 +122,7 @@ func (s *Server) recoverPersisted(wantCfg []byte) error {
 	s.runLog = log
 	s.rejoining = true
 	s.pushBoundary(boundary{round: ds.Round, blob: ds.Sampler, counters: ds.Counters})
-	s.logf("nodesvc: rank %d: recovered boundary round %d (epoch %d)", s.node.Rank(), ds.Round, ds.Epoch)
+	s.log.Info("recovered boundary", "round", ds.Round, "epoch", ds.Epoch)
 	return nil
 }
 

@@ -180,6 +180,7 @@ func (s *Server) coordinateResync() error {
 	window := s.ft.RejoinWindow()
 	overall := time.Now().Add(2 * window)
 	p := s.node.P()
+	s.formed.Store(false)
 	for {
 		if time.Now().After(overall) {
 			return fmt.Errorf("nodesvc: rank 0: resync did not complete within %s (down peers: %v)",
@@ -191,7 +192,7 @@ func (s *Server) coordinateResync() error {
 		if phase.After(overall) {
 			phase = overall
 		}
-		s.logf("nodesvc: rank 0: resync attempt %d (down: %v)", a, s.ft.DownPeers())
+		s.log.Info("resync attempt", "attempt", a, "down", fmt.Sprint(s.ft.DownPeers()))
 
 		// PREPARE + collect REPORTs.
 		if !s.sendAll(resyncMsg{Kind: kindPrepare, Attempt: a}, phase) {
@@ -246,7 +247,9 @@ func (s *Server) coordinateResync() error {
 			continue
 		}
 		s.ft.ClearFault()
-		s.logf("nodesvc: rank 0: resync complete: round %d, epoch %d", target, epoch)
+		s.formed.Store(true)
+		s.mResyncs.Inc()
+		s.log.Info("resync complete", "round", target, "epoch", epoch)
 		return nil
 	}
 }
@@ -256,7 +259,7 @@ func (s *Server) coordinateResync() error {
 func (s *Server) refreshDown(deadline time.Time) bool {
 	for _, peer := range s.ft.DownPeers() {
 		if err := s.ft.Refresh(peer, deadline); err != nil {
-			s.logf("nodesvc: rank %d: %v", s.node.Rank(), err)
+			s.log.Warn("link refresh failed", "peer", peer, "err", err)
 			return false
 		}
 	}
@@ -268,7 +271,7 @@ func (s *Server) refreshDown(deadline time.Time) bool {
 func (s *Server) sendAll(m resyncMsg, deadline time.Time) bool {
 	for peer := 1; peer < s.node.P(); peer++ {
 		if err := s.ft.SendCtrl(peer, m, deadline); err != nil {
-			s.logf("nodesvc: rank 0: resync send to %d: %v", peer, err)
+			s.log.Warn("resync send failed", "peer", peer, "err", err)
 			return false
 		}
 	}
@@ -283,17 +286,17 @@ func (s *Server) collect(attempt uint64, want byte, got map[int]resyncMsg, deadl
 	for len(got) < s.node.P()-1 {
 		from, v, err := s.ft.RecvCtrl(deadline)
 		if err != nil {
-			s.logf("nodesvc: rank 0: resync collect (%d/%d): %v", len(got), s.node.P()-1, err)
+			s.log.Warn("resync collect timed out", "have", len(got), "want", s.node.P()-1, "err", err)
 			return false
 		}
 		m, ok := v.(resyncMsg)
 		if !ok {
-			s.logf("nodesvc: rank 0: unexpected ctrl payload %T from %d", v, from)
+			s.log.Warn("unexpected ctrl payload", "type", fmt.Sprintf("%T", v), "from", from)
 			continue
 		}
 		switch {
 		case m.Kind == kindFault && m.Rejoin:
-			s.logf("nodesvc: rank 0: node %d rejoined mid-resync; restarting protocol", from)
+			s.log.Info("node rejoined mid-resync; restarting protocol", "peer", from)
 			return false
 		case m.Kind == want && m.Attempt == attempt:
 			got[from] = m
@@ -309,11 +312,12 @@ func (s *Server) collect(attempt uint64, want byte, got map[int]resyncMsg, deadl
 func (s *Server) followResync(rejoin bool) error {
 	window := s.ft.RejoinWindow()
 	overall := time.Now().Add(2 * window)
+	s.formed.Store(false)
 	lo, cur := s.boundaryRange()
 	announce := resyncMsg{Kind: kindFault, Epoch: s.ft.Epoch(), Round: cur, Lo: lo, Rejoin: rejoin}
 	if err := s.ft.SendCtrl(0, announce, overall); err != nil {
 		// Rank 0 itself may be the crashed node; its restart will PREPARE.
-		s.logf("nodesvc: rank %d: fault announce: %v", s.node.Rank(), err)
+		s.log.Warn("fault announce failed", "err", err)
 	}
 	for {
 		if time.Now().After(overall) {
@@ -347,7 +351,9 @@ func (s *Server) followResync(rejoin bool) error {
 			if err := s.ft.SendCtrl(0, resyncMsg{Kind: kindReady, Attempt: m.Attempt}, overall); err != nil {
 				return fmt.Errorf("nodesvc: rank %d: resync ready: %w", s.node.Rank(), err)
 			}
-			s.logf("nodesvc: rank %d: resynced to round %d, epoch %d", s.node.Rank(), m.Round, m.Epoch)
+			s.formed.Store(true)
+			s.mResyncs.Inc()
+			s.log.Info("resynced", "round", m.Round, "epoch", m.Epoch)
 			return nil
 		}
 	}

@@ -21,9 +21,11 @@ import (
 //	GET    /v1/runs/{id}/metrics/stream  SSE feed of per-round stats
 //	DELETE /v1/runs/{id}               delete a run
 //	GET    /healthz                    liveness
+//	GET    /metrics                    Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.metrics.Handler())
 	mux.HandleFunc("POST /v1/runs", s.handleCreateRun)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("POST /v1/runs/{id}/batches", s.handleIngest)

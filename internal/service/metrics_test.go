@@ -1,0 +1,214 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"reservoir/internal/metrics"
+)
+
+// scrape fetches /metrics and runs the strict exposition parser plus the
+// repo's naming conventions over the body — the same contract check CI
+// enforces. Every scrape in these tests goes through it, so a single
+// malformed line (or a mid-ingest torn histogram) fails the test.
+func scrape(t *testing.T, ts *httptest.Server) map[string]*metrics.Family {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, metrics.ContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.Lint(string(body))
+	if err != nil {
+		t.Fatalf("metrics contract violated: %v\n%s", err, body)
+	}
+	return fams
+}
+
+// sampleValue finds one sample by family name and run label (empty run
+// matches the first sample).
+func sampleValue(t *testing.T, fams map[string]*metrics.Family, name, run string) float64 {
+	t.Helper()
+	f, ok := fams[name]
+	if !ok {
+		t.Fatalf("family %s missing (have %d families)", name, len(fams))
+	}
+	for _, s := range f.Samples {
+		if run == "" || s.Labels["run"] == run {
+			return s.Value
+		}
+	}
+	t.Fatalf("family %s has no sample for run %q", name, run)
+	return 0
+}
+
+// TestMetricsContract drives a run through ingest, backpressure, and
+// deletion, scraping after each step: the exposition must stay parseable
+// and the instrument values must track what the API reported.
+func TestMetricsContract(t *testing.T) {
+	ts, svc := newTestServer(t)
+
+	// Pristine server: only server-level families, zero runs.
+	fams := scrape(t, ts)
+	if got := sampleValue(t, fams, "reservoir_runs", ""); got != 0 {
+		t.Fatalf("pristine reservoir_runs = %g, want 0", got)
+	}
+
+	run := createRun(t, ts, `{"kind":"cluster","p":2,"k":8,"seed":7,"queue_depth":1}`)
+	base := ts.URL + "/v1/runs/" + run.ID
+
+	// Three synchronous rounds: items/batches/round histogram must move.
+	code, raw := doJSON(t, "POST", base+"/batches?wait=true",
+		`{"synthetic":{"batch_len":50,"rounds":3}}`, nil)
+	if code != http.StatusOK {
+		t.Fatalf("ingest: %d %s", code, raw)
+	}
+	fams = scrape(t, ts)
+	if got := sampleValue(t, fams, "reservoir_runs", ""); got != 1 {
+		t.Fatalf("reservoir_runs = %g, want 1", got)
+	}
+	if got := sampleValue(t, fams, "reservoir_ingest_batches_total", run.ID); got != 1 {
+		t.Fatalf("ingest_batches_total = %g, want 1", got)
+	}
+	// 2 PEs × 50 items × 3 rounds.
+	if got := sampleValue(t, fams, "reservoir_ingest_items_total", run.ID); got != 300 {
+		t.Fatalf("ingest_items_total = %g, want 300", got)
+	}
+	rh, ok := fams["reservoir_round_duration_seconds"]
+	if !ok || rh.Type != "histogram" {
+		t.Fatalf("round_duration_seconds missing or not a histogram: %+v", rh)
+	}
+	var rounds float64
+	for _, s := range rh.Samples {
+		if s.Name == "reservoir_round_duration_seconds_count" && s.Labels["run"] == run.ID {
+			rounds = s.Value
+		}
+	}
+	if rounds != 3 {
+		t.Fatalf("round histogram count = %g, want 3", rounds)
+	}
+
+	// Force a 429 (queue_depth=1, worker parked) and check the rejection
+	// counter moves with it.
+	r, ok2 := svc.lookup(run.ID)
+	if !ok2 {
+		t.Fatalf("run %s not found", run.ID)
+	}
+	entered, release := blockWorker(r)
+	body := `{"synthetic":{"batch_len":10,"rounds":1}}`
+	if code, raw := doJSON(t, "POST", base+"/batches", body, nil); code != http.StatusAccepted {
+		t.Fatalf("first async ingest: %d %s", code, raw)
+	}
+	<-entered // worker holds job 1; the queue slot is free again
+	if code, raw := doJSON(t, "POST", base+"/batches", body, nil); code != http.StatusAccepted {
+		t.Fatalf("second async ingest: %d %s", code, raw)
+	}
+	if code, _ := doJSON(t, "POST", base+"/batches", body, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("third ingest: %d, want 429", code)
+	}
+	fams = scrape(t, ts)
+	if got := sampleValue(t, fams, "reservoir_ingest_rejected_total", run.ID); got != 1 {
+		t.Fatalf("ingest_rejected_total = %g, want 1", got)
+	}
+	if got := sampleValue(t, fams, "reservoir_queue_depth", run.ID); got != 1 {
+		t.Fatalf("queue_depth = %g, want 1", got)
+	}
+	close(release)
+	pollStats(t, ts, run.ID, func(st Stats) bool { return st.PendingRounds == 0 })
+
+	// Deleting the run must retire every series carrying its label.
+	if code, raw := doJSON(t, "DELETE", base, "", nil); code != http.StatusNoContent {
+		t.Fatalf("delete: %d %s", code, raw)
+	}
+	fams = scrape(t, ts)
+	for name, f := range fams {
+		for _, s := range f.Samples {
+			if s.Labels["run"] == run.ID {
+				t.Fatalf("series %s still carries deleted run %s", name, run.ID)
+			}
+		}
+	}
+	if got := sampleValue(t, fams, "reservoir_runs", ""); got != 0 {
+		t.Fatalf("reservoir_runs after delete = %g, want 0", got)
+	}
+}
+
+// TestMetricsScrapeDuringIngest hammers /metrics while ingest, run
+// creation, and run deletion are all in flight. Run under -race this
+// covers the lock-free scrape path; the parser on every response covers
+// the torn-read invariants (a histogram's +Inf bucket may never undershoot
+// its finite buckets, cumulative buckets stay monotone).
+func TestMetricsScrapeDuringIngest(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writers: two runs ingesting continuously, one run churning
+	// create/delete so series appear and vanish mid-scrape.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			run := createRun(t, ts, fmt.Sprintf(`{"kind":"cluster","p":2,"k":8,"seed":%d}`, w+1))
+			base := ts.URL + "/v1/runs/" + run.ID + "/batches?wait=true"
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(base, "application/json",
+					strings.NewReader(`{"synthetic":{"batch_len":64,"rounds":2}}`))
+				if err != nil {
+					return // server shutting down
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			run := createRun(t, ts, `{"kind":"cluster","p":1,"k":4,"seed":9}`)
+			doJSON(t, "POST", ts.URL+"/v1/runs/"+run.ID+"/batches?wait=true",
+				`{"synthetic":{"batch_len":16,"rounds":1}}`, nil)
+			doJSON(t, "DELETE", ts.URL+"/v1/runs/"+run.ID, "", nil)
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		scrape(t, ts) // parses + lints every body
+	}
+	close(stop)
+	wg.Wait()
+
+	// After the dust settles the exposition is still well-formed and the
+	// two long-lived runs' series survived the churn.
+	fams := scrape(t, ts)
+	if got := sampleValue(t, fams, "reservoir_runs", ""); got != 2 {
+		t.Fatalf("reservoir_runs = %g, want 2", got)
+	}
+}

@@ -102,11 +102,11 @@ func (r *Run) checkpointDue() bool {
 func (r *Run) checkpoint() {
 	kind, blob, err := r.snapshotBlob()
 	if err != nil {
-		r.logf("run %s: snapshot: %v", r.id, err)
+		r.logger.Error("snapshot failed", "err", err)
 		return
 	}
 	if err := r.log.Checkpoint(&store.Snapshot{Round: uint64(r.rounds), Kind: kind, Blob: blob}); err != nil {
-		r.logf("run %s: checkpoint: %v", r.id, err)
+		r.logger.Error("checkpoint failed", "err", err)
 		return
 	}
 	r.lastCkRound = r.rounds
@@ -123,7 +123,7 @@ func (r *Run) finishPersistence() {
 		r.checkpoint()
 	}
 	if err := r.log.Close(); err != nil {
-		r.logf("run %s: closing WAL: %v", r.id, err)
+		r.logger.Error("closing WAL failed", "err", err)
 	}
 }
 
@@ -150,11 +150,11 @@ func (s *Server) Recover() error {
 		// called twice, or after createRun): LoadRun would truncate and
 		// re-register the WAL handle out from under its worker.
 		if _, live := s.lookup(id); live {
-			s.logf("recover run %s: already live, skipped", id)
+			s.logger.Warn("recover: run already live, skipped", "run", id)
 			continue
 		}
 		if err := s.recoverRun(id); err != nil {
-			s.logf("recover run %s: %v (skipped, files kept)", id, err)
+			s.logger.Error("recover failed; run skipped, files kept", "run", id, "err", err)
 		}
 	}
 	return nil
@@ -179,7 +179,7 @@ func (s *Server) recoverRun(id string) error {
 		return fail(fmt.Errorf("rebuild sampler: %w", err))
 	}
 	if rs.Warning != nil {
-		s.logf("recover run %s: %v (recovering to the last consistent round)", id, rs.Warning)
+		s.logger.Warn("recovering to the last consistent round", "run", id, "warning", rs.Warning.Error())
 	}
 	if rs.Snapshot != nil {
 		if err := run.restoreSnapshot(rs.Snapshot); err != nil {
@@ -205,7 +205,7 @@ func (s *Server) recoverRun(id string) error {
 		return fail(warn)
 	}
 	run.log = rlog
-	run.logf = s.logf
+	run.logger = s.logger.With("run", id)
 	// Publish the recovered read view before the worker starts; from then
 	// on the worker owns snapshot publication.
 	run.publishSnapshot()
@@ -223,8 +223,9 @@ func (s *Server) recoverRun(id string) error {
 	s.workers.Add(1)
 	run.start(s.shutdownCtx, s.workers.Done)
 	s.mu.Unlock()
-	s.logf("recovered run %s (%s, p=%d, rounds=%d, snapshot=%v, replayed=%d)",
-		id, run.cfg.Kind, run.cfg.P, run.rounds, rs.Snapshot != nil, replayed)
+	s.registerRunMetrics(run)
+	s.logger.Info("recovered run", "run", id, "kind", run.cfg.Kind, "p", run.cfg.P,
+		"rounds", run.rounds, "snapshot", rs.Snapshot != nil, "replayed", replayed)
 	return nil
 }
 

@@ -214,11 +214,13 @@ func (r *Run) enqueue(job *ingestJob) error {
 	select {
 	case r.queue <- job:
 		r.pending.Add(int64(job.rounds))
+		r.mBatches.Inc()
 		return nil
 	default:
 		if job.buf != nil {
 			job.buf.release()
 		}
+		r.mRejected.Inc()
 		return &apiError{
 			code: http.StatusTooManyRequests,
 			msg: fmt.Sprintf("ingest queue is full (%d/%d jobs); retry later or create the run with a larger queue_depth",

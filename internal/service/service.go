@@ -25,12 +25,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"reservoir"
+	"reservoir/internal/metrics"
 	"reservoir/internal/store"
 	"reservoir/internal/workload/scenario"
 )
@@ -275,8 +277,15 @@ type Run struct {
 	log         *store.RunLog
 	lastCkRound int
 	deleted     atomic.Bool
-	// logf reports persistence problems from the worker (never nil).
-	logf func(format string, args ...any)
+	// logger reports persistence problems from the worker (never nil).
+	logger *slog.Logger
+
+	// Per-run /metrics series (nil without instrumentation; the metrics
+	// types are nil-receiver no-ops). Set by the server right after
+	// newRun, removed again when the run is deleted.
+	mBatches      *metrics.Counter   // ingest jobs accepted onto the queue
+	mRejected     *metrics.Counter   // ingest jobs rejected with 429
+	mRoundSeconds *metrics.Histogram // wall time per completed round
 
 	// roundHook, when non-nil, runs before each round on the worker
 	// goroutine. Test-only: lets tests hold the worker busy
@@ -337,7 +346,7 @@ func newRun(id string, cfg RunConfig, d runDefaults) (*Run, error) {
 	if cfg.CheckpointBytes == 0 {
 		cfg.CheckpointBytes = d.ckBytes
 	}
-	r := &Run{id: id, subs: make(map[chan []byte]struct{}), logf: func(string, ...any) {}}
+	r := &Run{id: id, subs: make(map[chan []byte]struct{}), logger: slog.New(slog.DiscardHandler)}
 	switch cfg.Kind {
 	case KindCluster:
 		if cfg.Window != 0 || cfg.ChunkLen != 0 {
@@ -489,7 +498,11 @@ type Server struct {
 	workers     sync.WaitGroup
 	cleanups    sync.WaitGroup // deleted runs' pending disk removals
 	queueDepth  int
-	logf        func(format string, args ...any)
+	logger      *slog.Logger
+
+	// metrics is the server's Prometheus registry, served at GET /metrics
+	// (never nil; WithMetrics substitutes a shared registry).
+	metrics *metrics.Registry
 
 	// store, when non-nil, persists every run (config + WAL + checkpoints)
 	// under a data directory; ckRounds/ckBytes are the server-default
@@ -502,10 +515,30 @@ type Server struct {
 // Option customizes New.
 type Option func(*Server)
 
-// WithLogger routes service logs (run lifecycle events) to logf.
-func WithLogger(logf func(format string, args ...any)) Option {
-	return func(s *Server) { s.logf = logf }
+// WithLogger routes service logs (run lifecycle events) to log as
+// structured records; the server adds a component attr.
+func WithLogger(log *slog.Logger) Option {
+	return func(s *Server) {
+		if log != nil {
+			s.logger = log.With("component", "service")
+		}
+	}
 }
+
+// WithMetrics substitutes reg for the server's own registry, so the
+// process can aggregate service metrics with other subsystems (e.g. the
+// store's WAL instrumentation) on one /metrics endpoint.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Server) {
+		if reg != nil {
+			s.metrics = reg
+		}
+	}
+}
+
+// Metrics returns the server's metrics registry (e.g. to pass to
+// store.WithMetrics or to mount on another mux).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
 // WithQueueDepth sets the default per-run ingest queue depth (jobs).
 // Individual runs may override it with RunConfig.QueueDepth.
@@ -557,13 +590,40 @@ func New(opts ...Option) *Server {
 		queueDepth: defaultQueueSize,
 		ckRounds:   defaultCkRounds,
 		ckBytes:    defaultCkBytes,
-		logf:       func(string, ...any) {},
+		logger:     slog.New(slog.DiscardHandler),
+		metrics:    metrics.NewRegistry(),
 	}
 	s.shutdownCtx, s.shutdown = context.WithCancel(context.Background())
 	for _, o := range opts {
 		o(s)
 	}
+	s.metrics.GaugeFunc("reservoir_runs", "Live sampler runs hosted by the service.",
+		nil, nil, func() float64 { return float64(s.runCount()) })
 	return s
+}
+
+// registerRunMetrics wires a run's per-run series into the registry.
+// Counter/histogram handles live on the Run (hot-path increments);
+// queue gauges are read at scrape time from the queue itself.
+func (s *Server) registerRunMetrics(r *Run) {
+	runLabel := []string{"run"}
+	id := r.id
+	r.mBatches = s.metrics.NewCounter("reservoir_ingest_batches_total",
+		"Ingest jobs accepted onto a run's queue.", runLabel, id)
+	r.mRejected = s.metrics.NewCounter("reservoir_ingest_rejected_total",
+		"Ingest jobs rejected with 429 (queue full).", runLabel, id)
+	r.mRoundSeconds = s.metrics.NewHistogram("reservoir_round_duration_seconds",
+		"Wall time per completed ingest round (WAL append included).",
+		metrics.DefBuckets, runLabel, id)
+	s.metrics.CounterFunc("reservoir_ingest_items_total",
+		"Items processed by the run's sampler.", runLabel, []string{id},
+		func() float64 { return float64(r.snap.Load().stats.ItemsProcessed) })
+	s.metrics.GaugeFunc("reservoir_queue_depth",
+		"Ingest jobs waiting on the run's queue.", runLabel, []string{id},
+		func() float64 { return float64(len(r.queue)) })
+	s.metrics.GaugeFunc("reservoir_pending_rounds",
+		"Rounds enqueued (or in flight) but not yet completed.", runLabel, []string{id},
+		func() float64 { return float64(r.pending.Load()) })
 }
 
 // defaults bundles the server-level RunConfig fallbacks.
@@ -611,7 +671,7 @@ func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
-	run.logf = s.logf
+	run.logger = s.logger.With("run", id)
 	if s.store != nil {
 		// Persist the ID allocation first (IDs are never reused, even
 		// across restarts), then the run's on-disk state. The normalized
@@ -654,7 +714,12 @@ func (s *Server) createRun(cfg RunConfig) (*Run, error) {
 	s.workers.Add(1)
 	run.start(s.shutdownCtx, s.workers.Done)
 	s.mu.Unlock()
-	s.logf("created run %s (%s, p=%d, k=%d, queue=%d)", id, run.cfg.Kind, run.cfg.P, run.cfg.K, run.cfg.QueueDepth)
+	// Metrics register after the run is committed to the map, so a failed
+	// create leaves no orphan series (IDs are never reused). The counter
+	// handles are nil-safe for the instant before registration completes.
+	s.registerRunMetrics(run)
+	s.logger.Info("created run", "run", id, "kind", run.cfg.Kind,
+		"p", run.cfg.P, "k", run.cfg.K, "queue", run.cfg.QueueDepth)
 	return run, nil
 }
 
@@ -693,10 +758,11 @@ func (s *Server) deleteRun(id string) bool {
 	r.deleted.Store(true)
 	r.cancel()
 	r.closeSubs()
+	s.metrics.Unregister("run", id)
 	removeDisk := func() {
 		<-r.workerDone // the worker closes the log on exit
 		if err := s.store.DeleteRun(id); err != nil {
-			s.logf("delete run %s disk state: %v", id, err)
+			s.logger.Error("delete run disk state failed", "run", id, "err", err)
 		}
 	}
 	switch {
@@ -710,7 +776,7 @@ func (s *Server) deleteRun(id string) bool {
 		// goroutine (the worker exits promptly on the canceled context).
 		removeDisk()
 	}
-	s.logf("deleted run %s", id)
+	s.logger.Info("deleted run", "run", id)
 	return true
 }
 

@@ -112,7 +112,9 @@ func (r *Run) process(job *ingestJob) (res ingestResult) {
 		st = r.publishSnapshot()
 		// Periodic checkpoints are amortized spikes, not steady-state
 		// drain cost — keep them out of the Retry-After estimate.
-		r.observeRound(time.Since(roundStart))
+		roundDur := time.Since(roundStart)
+		r.observeRound(roundDur)
+		r.mRoundSeconds.Observe(roundDur.Seconds())
 		if r.checkpointDue() {
 			r.checkpoint()
 		}

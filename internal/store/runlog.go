@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // RunLog is the persistence handle of one run. AppendRound and Checkpoint
@@ -78,16 +79,20 @@ func (l *RunLog) AppendRound(rec *RoundRecord) error {
 		}
 		return l.st.noteErr(fmt.Errorf("store: append run %s: %w", l.id, cause))
 	}
+	start := time.Now()
 	if _, err := l.f.Write(frame); err != nil {
 		return undo(err)
 	}
 	if l.st.policy == FsyncAlways {
+		fsyncStart := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return undo(err)
 		}
+		l.st.fsyncSeconds.Observe(time.Since(fsyncStart).Seconds())
 	} else {
 		l.dirty = true
 	}
+	l.st.appendSeconds.Observe(time.Since(start).Seconds())
 	l.walBytes += int64(len(frame))
 	l.st.walAppends.Add(1)
 	l.st.walBytesTotal.Add(int64(len(frame)))
@@ -174,9 +179,11 @@ func (l *RunLog) sync() error {
 	if !l.dirty || l.f == nil {
 		return nil
 	}
+	start := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return err
 	}
+	l.st.fsyncSeconds.Observe(time.Since(start).Seconds())
 	l.dirty = false
 	return nil
 }

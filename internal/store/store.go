@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"reservoir/internal/metrics"
 )
 
 // FsyncPolicy controls when WAL appends reach stable storage.
@@ -90,6 +92,11 @@ type Store struct {
 	checkpoints   atomic.Int64
 	lastErr       atomic.Pointer[string]
 
+	// Optional /metrics instrumentation (nil when WithMetrics was not
+	// given; *metrics.Histogram methods are nil-receiver no-ops).
+	appendSeconds *metrics.Histogram
+	fsyncSeconds  *metrics.Histogram
+
 	stopSync chan struct{}
 	syncDone chan struct{}
 	stopOnce sync.Once
@@ -123,6 +130,33 @@ func WithSnapshotRetention(n int) Option {
 		if n > 0 {
 			s.retain = n
 		}
+	}
+}
+
+// WithMetrics registers the store's persistence instrumentation on reg:
+// WAL append and fsync latency histograms, plus counter views over the
+// append/byte/checkpoint totals the store already tracks (read at scrape
+// time — no extra hot-path accounting).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Store) {
+		if reg == nil {
+			return
+		}
+		s.appendSeconds = reg.NewHistogram("reservoir_store_wal_append_seconds",
+			"WAL append latency (write plus fsync under the always policy).",
+			metrics.DefBuckets, nil)
+		s.fsyncSeconds = reg.NewHistogram("reservoir_store_wal_fsync_seconds",
+			"WAL fsync latency (per append under always, per flush under interval).",
+			metrics.DefBuckets, nil)
+		reg.CounterFunc("reservoir_store_wal_appends_total",
+			"Round records appended to WAL segments.",
+			nil, nil, func() float64 { return float64(s.walAppends.Load()) })
+		reg.CounterFunc("reservoir_store_wal_bytes_total",
+			"Bytes appended to WAL segments.",
+			nil, nil, func() float64 { return float64(s.walBytesTotal.Load()) })
+		reg.CounterFunc("reservoir_store_checkpoints_total",
+			"Sampler checkpoints persisted (WAL rotations).",
+			nil, nil, func() float64 { return float64(s.checkpoints.Load()) })
 	}
 }
 

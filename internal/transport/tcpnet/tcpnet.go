@@ -112,6 +112,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"net"
 	"sort"
 	"sync"
@@ -203,8 +204,9 @@ type Config struct {
 	// for this long (a crashed peer must restart within the window).
 	// Zero keeps the strict reliable-PE semantics.
 	RejoinTimeout time.Duration
-	// Logf receives connection lifecycle messages (default: silent).
-	Logf func(format string, args ...any)
+	// Log receives connection lifecycle messages as structured records
+	// (default: silent). The transport adds component/rank attrs.
+	Log *slog.Logger
 }
 
 // Transport is one node's endpoint of the TCP mesh. It satisfies
@@ -214,7 +216,7 @@ type Transport struct {
 	peers   []string
 	start   time.Time
 	ln      net.Listener
-	logf    func(string, ...any)
+	log     *slog.Logger
 	rejoin  time.Duration // > 0: fault-tolerant mode
 	// incarnation identifies this transport instance in handshakes, so
 	// peers can tell a crash-restarted node from a formation-race
@@ -231,9 +233,11 @@ type Transport struct {
 	inIncar   []uint64   // rank-indexed: incarnation behind curIn
 	outIncar  []uint64   // rank-indexed: incarnation our out link reaches
 
-	messages atomic.Int64
-	words    atomic.Int64
-	bytes    atomic.Int64
+	// perPeer holds rank-indexed outgoing-traffic counters (the entry at
+	// our own rank stays zero). Stats sums them, so the aggregate and the
+	// per-peer breakdown cannot drift apart; the /metrics surface reads
+	// them directly via PeerStats.
+	perPeer []peerCounter
 	// flushNS accumulates wall time spent emitting staged coalesced runs
 	// and draining link write buffers to the sockets (the round breakdown's
 	// coalesce-flush phase).
@@ -253,6 +257,7 @@ type Transport struct {
 // an epoch change emits them; all messages to the peer pass through the
 // same staging in send order, so FIFO delivery is preserved.
 type link struct {
+	peer      int // destination rank (per-peer byte accounting at emit time)
 	mu        sync.Mutex
 	conn      net.Conn
 	w         *bufio.Writer
@@ -260,6 +265,44 @@ type link struct {
 	pend      []byte
 	pendCount int
 	pendEpoch uint32
+}
+
+// peerCounter is one peer's outgoing-traffic counters. messages/words
+// count at Send, bytes at framing time (framing overhead included),
+// retries counts redial attempts after the link was lost.
+type peerCounter struct {
+	messages atomic.Int64
+	words    atomic.Int64
+	bytes    atomic.Int64
+	retries  atomic.Int64
+}
+
+// PeerStats is a snapshot of one peer's outgoing-traffic counters
+// (see peerCounter for the accounting points).
+type PeerStats struct {
+	Peer     int
+	Messages int64
+	Words    int64
+	Bytes    int64
+	Retries  int64
+}
+
+// PeerStats returns a rank-indexed snapshot of per-peer outgoing
+// traffic; the entry at the local rank is zero. The /metrics endpoint
+// exposes these as reservoir_transport_peer_* series.
+func (t *Transport) PeerStats() []PeerStats {
+	out := make([]PeerStats, t.p)
+	for i := range out {
+		pc := &t.perPeer[i]
+		out[i] = PeerStats{
+			Peer:     i,
+			Messages: pc.messages.Load(),
+			Words:    pc.words.Load(),
+			Bytes:    pc.bytes.Load(),
+			Retries:  pc.retries.Load(),
+		}
+	}
+	return out
 }
 
 // Dial forms this node's side of the cluster: it starts listening, opens a
@@ -274,20 +317,21 @@ func Dial(cfg Config) (*Transport, error) {
 	if cfg.Rank < 0 || cfg.Rank >= p {
 		return nil, fmt.Errorf("tcpnet: rank %d outside peer list of %d", cfg.Rank, p)
 	}
-	logf := cfg.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	logger := cfg.Log
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
 	}
 	t := &Transport{
 		rank:        cfg.Rank,
 		p:           p,
 		peers:       append([]string(nil), cfg.Peers...),
 		start:       time.Now(),
-		logf:        logf,
+		log:         logger.With("component", "tcpnet", "rank", cfg.Rank),
 		rejoin:      cfg.RejoinTimeout,
 		incarnation: newIncarnation(),
 		box:         newMailbox(),
 		out:         make([]*link, p),
+		perPeer:     make([]peerCounter, p),
 		curIn:       make([]net.Conn, p),
 		redialing:   make([]bool, p),
 		inIncar:     make([]uint64, p),
@@ -368,7 +412,7 @@ func Dial(cfg Config) (*Transport, error) {
 			return nil, fmt.Errorf("tcpnet: transport closed during formation")
 		}
 	}
-	logf("tcpnet: rank %d/%d mesh up (%s)", t.rank, p, time.Since(t.start).Round(time.Millisecond))
+	t.log.Info("mesh up", "p", p, "elapsed", time.Since(t.start).Round(time.Millisecond).String())
 	return t, nil
 }
 
@@ -469,7 +513,7 @@ func (t *Transport) dialOnce(peer int, addr string) (net.Conn, uint64, error) {
 func (t *Transport) installLink(peer int, conn net.Conn, incar uint64) {
 	t.mu.Lock()
 	old := t.out[peer]
-	t.out[peer] = &link{conn: conn, w: bufio.NewWriterSize(conn, linkWriteBuffer)}
+	t.out[peer] = &link{peer: peer, conn: conn, w: bufio.NewWriterSize(conn, linkWriteBuffer)}
 	t.outIncar[peer] = incar
 	t.mu.Unlock()
 	if old != nil {
@@ -515,13 +559,14 @@ func (t *Transport) redialPeer(peer int) {
 				return
 			default:
 			}
+			t.perPeer[peer].retries.Add(1)
 			if conn, incar, err := t.dialOnce(peer, t.peers[peer]); err == nil {
 				t.installLink(peer, conn, incar)
-				t.logf("tcpnet: rank %d: re-dialed peer %d", t.rank, peer)
+				t.log.Info("re-dialed peer", "peer", peer)
 				return
 			}
 			if time.Now().Add(backoff).After(deadline) {
-				t.logf("tcpnet: rank %d: giving up re-dialing peer %d after %s", t.rank, peer, t.rejoin)
+				t.log.Warn("giving up re-dialing peer", "peer", peer, "window", t.rejoin.String())
 				return
 			}
 			time.Sleep(backoff)
@@ -607,7 +652,7 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 			select {
 			case <-t.closed:
 			default:
-				t.logf("tcpnet: rank %d accept: %v", t.rank, err)
+				t.log.Warn("accept failed", "err", err)
 			}
 			return
 		}
@@ -615,25 +660,25 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 			conn.SetReadDeadline(time.Now().Add(10 * time.Second))
 			var hs [handshakeLen]byte
 			if _, err := io.ReadFull(conn, hs[:]); err != nil {
-				t.logf("tcpnet: rank %d: inbound handshake read: %v", t.rank, err)
+				t.log.Warn("inbound handshake read failed", "err", err)
 				conn.Close()
 				return
 			}
 			conn.SetReadDeadline(time.Time{})
 			if m := binary.LittleEndian.Uint32(hs[0:4]); m != handshakeMagic {
-				t.logf("tcpnet: rank %d: inbound connection with bad magic %#x", t.rank, m)
+				t.log.Warn("inbound connection with bad magic", "magic", fmt.Sprintf("%#x", m))
 				conn.Close()
 				return
 			}
 			if v := hs[4]; v != protocolVersion {
-				t.logf("tcpnet: rank %d: inbound protocol version %d (want %d)", t.rank, v, protocolVersion)
+				t.log.Warn("inbound protocol version mismatch", "got", v, "want", protocolVersion)
 				conn.Close()
 				return
 			}
 			from := int(binary.LittleEndian.Uint32(hs[5:9]))
 			peerP := int(binary.LittleEndian.Uint32(hs[9:13]))
 			if peerP != t.p || from < 0 || from >= t.p || from == t.rank {
-				t.logf("tcpnet: rank %d: inbound peer claims rank %d of %d (cluster has %d)", t.rank, from, peerP, t.p)
+				t.log.Warn("inbound peer claims foreign rank", "claimed_rank", from, "claimed_p", peerP, "p", t.p)
 				conn.Close()
 				return
 			}
@@ -643,7 +688,7 @@ func (t *Transport) acceptLoop(inbound chan<- int) {
 			var reply [handshakeLen]byte
 			t.putHandshake(&reply)
 			if _, err := conn.Write(reply[:]); err != nil {
-				t.logf("tcpnet: rank %d: inbound handshake reply: %v", t.rank, err)
+				t.log.Warn("inbound handshake reply failed", "err", err)
 				conn.Close()
 				return
 			}
@@ -797,7 +842,7 @@ func (t *Transport) failFrom(from int, conn net.Conn, err error) {
 		return
 	}
 	if t.rejoin > 0 {
-		t.logf("tcpnet: rank %d: peer %d faulted: %v", t.rank, from, err)
+		t.log.Warn("peer faulted", "peer", from, "err", err)
 		t.box.markDown(from, err)
 		t.redialPeer(from)
 		return
@@ -837,8 +882,8 @@ func (t *Transport) Send(to, tag int, payload any, words int) {
 		t.sendFailed(to, err)
 	}
 	releaseBuf(buf)
-	t.messages.Add(1)
-	t.words.Add(int64(words))
+	t.perPeer[to].messages.Add(1)
+	t.perPeer[to].words.Add(int64(words))
 }
 
 // sendFailed turns a write error into the mode-appropriate panic.
@@ -914,7 +959,7 @@ func (t *Transport) writeMessage(to, tag, words int, body []byte, flush bool) er
 	if err := writeFrames(l.w, tag, words, epoch, body); err != nil {
 		return err
 	}
-	t.bytes.Add(framedBytes(body))
+	t.perPeer[to].bytes.Add(framedBytes(body))
 	if flush {
 		if l.dirty {
 			l.dirty = false
@@ -943,10 +988,10 @@ func (l *link) emitPend(t *Transport) error {
 		words := int(binary.LittleEndian.Uint32(l.pend[4:8]))
 		body := l.pend[subHeaderLen:]
 		err = writeFrames(l.w, tag, words, l.pendEpoch, body)
-		t.bytes.Add(framedBytes(body))
+		t.perPeer[l.peer].bytes.Add(framedBytes(body))
 	} else {
 		err = writeCoalesced(l.w, l.pendEpoch, l.pend)
-		t.bytes.Add(int64(len(l.pend)) + frameHeaderLen)
+		t.perPeer[l.peer].bytes.Add(int64(len(l.pend)) + frameHeaderLen)
 	}
 	l.pend = l.pend[:0]
 	l.pendCount = 0
@@ -1092,13 +1137,16 @@ func (t *Transport) Work(float64) {}
 func (t *Transport) Clock() float64 { return float64(time.Since(t.start)) }
 
 // Stats implements transport.StatsSource with this node's outgoing
-// traffic.
+// traffic — the sum of the per-peer counters.
 func (t *Transport) Stats() transport.Stats {
-	return transport.Stats{
-		Messages: t.messages.Load(),
-		Words:    t.words.Load(),
-		Bytes:    t.bytes.Load(),
+	var s transport.Stats
+	for i := range t.perPeer {
+		pc := &t.perPeer[i]
+		s.Messages += pc.messages.Load()
+		s.Words += pc.words.Load()
+		s.Bytes += pc.bytes.Load()
 	}
+	return s
 }
 
 // Pending returns the number of received-but-unclaimed messages (tests use
@@ -1164,8 +1212,8 @@ func (t *Transport) SendCtrl(to int, payload any, deadline time.Time) error {
 		// suspended.
 		err := t.writeMessage(to, CtrlTag, 1, body, true)
 		if err == nil {
-			t.messages.Add(1)
-			t.words.Add(1)
+			t.perPeer[to].messages.Add(1)
+			t.perPeer[to].words.Add(1)
 			return nil
 		}
 		t.redialPeer(to)

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"net"
 	"strings"
 	"sync"
@@ -184,9 +185,10 @@ func TestCorruptFramePoisonsRecv(t *testing.T) {
 		rank:     1,
 		p:        2,
 		start:    time.Now(),
-		logf:     func(string, ...any) {},
+		log:      slog.New(slog.DiscardHandler),
 		box:      newMailbox(),
 		out:      make([]*link, 2),
+		perPeer:  make([]peerCounter, 2),
 		curIn:    make([]net.Conn, 2),
 		inIncar:  make([]uint64, 2),
 		outIncar: make([]uint64, 2),
@@ -316,9 +318,10 @@ func TestHandshakeRejectsWrongClusterSize(t *testing.T) {
 		rank:     1,
 		p:        2,
 		start:    time.Now(),
-		logf:     func(string, ...any) {},
+		log:      slog.New(slog.DiscardHandler),
 		box:      newMailbox(),
 		out:      make([]*link, 2),
+		perPeer:  make([]peerCounter, 2),
 		curIn:    make([]net.Conn, 2),
 		inIncar:  make([]uint64, 2),
 		outIncar: make([]uint64, 2),

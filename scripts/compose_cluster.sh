@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Container chaos gate: build the shipping image, bring up the 4-node
+# docker-compose cluster (deploy/docker-compose.yml), drive a paced ingest
+# with reservoir-loadgen -chaos, and docker-kill / restart a node container
+# mid-run. The run must finish, reservoir-verify -match must confirm the
+# final sample is byte-identical to an uninterrupted in-process simulator
+# replay, and the live /metrics pages must show nonzero per-peer transport
+# traffic plus round-latency histograms — i.e. CI tests the exact artifact
+# we ship, not a host-built stand-in.
+#
+# Env knobs:
+#   VICTIM         compose service to kill/restart mid-ingest (default node2;
+#                  node0 is legal — loadgen -chaos rides out the control API
+#                  outage)
+#   KILL_DELAY     seconds before the kill                  (default 3)
+#   RESTART_DELAY  seconds the victim stays dead            (default 2)
+#   INTERVAL       loadgen pause between rounds             (default 400ms)
+#   COMPOSE        compose invocation                       (default "docker compose")
+#
+# Usage: scripts/compose_cluster.sh [rounds] [batch]
+set -euo pipefail
+
+ROUNDS="${1:-30}"
+BATCH="${2:-2000}"
+VICTIM="${VICTIM:-node2}"
+KILL_DELAY="${KILL_DELAY:-3}"
+RESTART_DELAY="${RESTART_DELAY:-2}"
+INTERVAL="${INTERVAL:-400ms}"
+COMPOSE="${COMPOSE:-docker compose}"
+COMPOSE_FILE="deploy/docker-compose.yml"
+
+cd "$(dirname "$0")/.."
+
+compose() { $COMPOSE -f "$COMPOSE_FILE" "$@"; }
+
+cleanup() {
+  compose logs --no-color --timestamps >compose_cluster.log 2>&1 || true
+  compose down -v --remove-orphans >/dev/null 2>&1 || true
+}
+trap cleanup EXIT
+
+echo "== building the shipping image and starting the 4-node compose cluster"
+compose up -d --build --wait --wait-timeout 120 node0 node1 node2 node3
+
+# The host-side verifier replays the dump in-process; build it once.
+go build -o /tmp/reservoir-verify ./cmd/reservoir-verify
+go build -o /tmp/reservoir-loadgen ./cmd/reservoir-loadgen
+
+echo "== starting paced chaos ingest: $ROUNDS rounds of $BATCH items/PE"
+/tmp/reservoir-loadgen -cluster "http://127.0.0.1:8080" \
+  -rounds "$ROUNDS" -batch "$BATCH" -interval "$INTERVAL" \
+  -chaos -chaos-timeout 5m \
+  -name compose_chaos -out BENCH_compose_chaos.json \
+  -sample-out compose_sample.json &
+LOADGEN_PID=$!
+
+sleep "$KILL_DELAY"
+if ! kill -0 "$LOADGEN_PID" 2>/dev/null; then
+  echo "loadgen finished before the chaos cycle ran; raise ROUNDS or INTERVAL" >&2
+  exit 1
+fi
+echo "== chaos: docker kill $VICTIM (SIGKILL) mid-ingest"
+compose kill -s SIGKILL "$VICTIM"
+sleep "$RESTART_DELAY"
+echo "== chaos: restart $VICTIM (rejoins from its named volume and resyncs)"
+compose start "$VICTIM"
+
+echo "== waiting for the chaos ingest to finish"
+if ! wait "$LOADGEN_PID"; then
+  echo "loadgen failed under container chaos" >&2
+  exit 1
+fi
+
+echo "== verifying the post-chaos sample against an uninterrupted simulator replay"
+/tmp/reservoir-verify -match compose_sample.json
+
+echo "== checking the live /metrics pages (per-peer traffic + round histograms)"
+# Rank 0's ops endpoint is on host port 9090; the restarted victim's page
+# must also be serving again (ports 9091..9093 map node1..node3).
+metrics="$(curl -sf http://127.0.0.1:9090/metrics)"
+check() {
+  # check PATTERN DESC — require a sample line matching PATTERN with a
+  # strictly positive value.
+  if ! grep -E "$1" <<<"$metrics" | awk '$NF + 0 > 0 { found = 1 } END { exit !found }'; then
+    echo "metrics gate: no nonzero sample for $2 (pattern $1)" >&2
+    echo "$metrics" | grep -v '^#' | head -50 >&2
+    return 1
+  fi
+}
+check '^reservoir_transport_bytes_total\{peer="[0-9]+"\}' "per-peer transport bytes"
+check '^reservoir_transport_messages_total\{peer="[0-9]+"\}' "per-peer transport messages"
+check '^reservoir_node_round_duration_seconds_count\{rank="0"\}' "round-latency histogram"
+check '^reservoir_cluster_items_total ' "cluster items counter"
+for port in 9091 9092 9093; do
+  curl -sf "http://127.0.0.1:$port/healthz" >/dev/null || {
+    echo "node ops endpoint on :$port not healthy after chaos" >&2
+    exit 1
+  }
+done
+
+echo "== shutting the cluster down via the control API"
+curl -sf -X POST http://127.0.0.1:8080/v1/cluster/shutdown
+echo
+compose down -v --remove-orphans
+trap - EXIT
+
+echo "== compose chaos OK: container kill/restart survived; sample byte-identical; metrics live"
